@@ -1,0 +1,364 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus ablation benchmarks for the design choices
+// called out in DESIGN.md (Monte-Carlo vs analytic candidate scoring,
+// DP sample-count scaling, sequential vs parallel evaluation).
+//
+// Each Benchmark<TableN>/<FigN> runs the same driver that
+// cmd/experiments uses, with the protocol parameters scaled down so a
+// full -bench=. pass stays in the minutes range; the harness prints the
+// headline numbers once so a bench run doubles as a smoke reproduction.
+// Full-scale runs (the paper's M=5000, N=1000, n=1000) are produced by
+// cmd/experiments.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/dist"
+	"repro/internal/dp"
+	"repro/internal/experiments"
+	"repro/internal/online"
+	"repro/internal/platform"
+	"repro/internal/queuesim"
+	"repro/internal/resources"
+	"repro/internal/simulate"
+	"repro/internal/strategy"
+)
+
+// benchCfg is the scaled-down protocol used by the per-table benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{M: 300, N: 300, DiscN: 250, Epsilon: 1e-7, Seed: 42}
+}
+
+var printOnce sync.Once
+
+// BenchmarkTable2 regenerates Table 2 (seven heuristics × nine
+// distributions, ReservationOnly).
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce.Do(func() {
+				fmt.Println()
+				fmt.Println(experiments.RenderTable2(rows).String())
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (brute-force t1 vs quantiles).
+func BenchmarkTable3(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (discretization sample-count
+// sweep for both schemes).
+func BenchmarkTable4(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the Fig.-3 cost-vs-t1 series for all nine
+// distributions.
+func BenchmarkFig3(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the Fig.-4 NeuroHPC sweep (heuristics ×
+// moment scalings).
+func BenchmarkFig4(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp1 locates the §3.5 constant s1 for Exp(1).
+func BenchmarkExp1(b *testing.B) {
+	cfg := experiments.Config{M: 1000}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Exp1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation and micro benchmarks -----------------------------------
+
+// BenchmarkBruteForceScoring compares the paper's Monte-Carlo candidate
+// scoring against the deterministic Eq.-(4) scoring at the same grid —
+// the central protocol choice of §4.1/§5.1.
+func BenchmarkBruteForceScoring(b *testing.B) {
+	d := dist.MustLogNormal(3, 0.5)
+	for _, mode := range []strategy.EvalMode{strategy.EvalMonteCarlo, strategy.EvalAnalytic} {
+		b.Run(mode.String(), func(b *testing.B) {
+			bf := strategy.BruteForce{M: 300, N: 300, Mode: mode, Seed: 1, Workers: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := bf.Search(core.ReservationOnly, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBruteForceWorkers measures the parallel speedup of the grid
+// scan.
+func BenchmarkBruteForceWorkers(b *testing.B) {
+	d := dist.MustGamma(2, 2)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			bf := strategy.BruteForce{M: 600, N: 300, Seed: 1, Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := bf.Search(core.ReservationOnly, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDPSolve measures the O(n²) dynamic program (Theorem 5) at
+// the Table-4 sample counts.
+func BenchmarkDPSolve(b *testing.B) {
+	d := dist.MustLogNormal(3, 0.5)
+	for _, n := range []int{100, 1000} {
+		dd, err := discretize.Discretize(d, n, 1e-7, discretize.EqualProbability)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dp.Solve(dd, core.ReservationOnly); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiscretize measures both §4.2.1 schemes at the paper's
+// n=1000.
+func BenchmarkDiscretize(b *testing.B) {
+	d := dist.MustWeibull(1, 0.5)
+	for _, sch := range []discretize.Scheme{discretize.EqualProbability, discretize.EqualTime} {
+		b.Run(sch.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := discretize.Discretize(d, 1000, 1e-7, sch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExpectedCost measures the Eq.-(4) evaluation of a recurrence
+// sequence.
+func BenchmarkExpectedCost(b *testing.B) {
+	d := dist.MustExponential(1)
+	m := core.ReservationOnly
+	for i := 0; i < b.N; i++ {
+		s := core.SequenceFromFirstTail(m, d, 0.74219, core.DefaultTailEps)
+		if _, err := core.ExpectedCost(m, d, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarlo measures the Eq.-(13) estimate at the paper's
+// N=1000.
+func BenchmarkMonteCarlo(b *testing.B) {
+	d := dist.MustLogNormal(3, 0.5)
+	m := core.ReservationOnly
+	s, err := strategy.MeanDoubling{}.Sequence(m, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := simulate.Samples(d, 1000, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.CostOnSamples(m, s.Clone(), samples, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuantiles measures the special-function-backed quantiles
+// (Gamma and Beta dominate; they invert incomplete gamma/beta
+// functions).
+func BenchmarkQuantiles(b *testing.B) {
+	for _, d := range dist.Table1() {
+		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := float64(i%997+1) / 998
+				_ = d.Quantile(p)
+			}
+		})
+	}
+}
+
+// BenchmarkMakePlan measures the public facade end to end.
+func BenchmarkMakePlan(b *testing.B) {
+	d, err := LogNormal(3, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{StrategyBruteForce, StrategyEqualProb, StrategyMeanByMean} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MakePlan(ReservationOnly, d, name, Options{GridM: 300, DiscN: 250}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointSolve measures the checkpoint DPs (the §7
+// extension): the O(n³) mixed optimum vs the O(n²) pure strategies.
+func BenchmarkCheckpointSolve(b *testing.B) {
+	dd, err := discretize.Discretize(dist.MustWeibull(1, 0.5), 80, 1e-6, discretize.EqualProbability)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := checkpoint.Params{C: 0.05, R: 0.05}
+	b.Run("mixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := checkpoint.Solve(dd, core.ReservationOnly, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := checkpoint.SolveAllCheckpoint(dd, core.ReservationOnly, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("none", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := checkpoint.SolveNoCheckpoint(dd, core.ReservationOnly, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkElasticOptimize measures the variable-resources extension
+// (8 per-p subproblems, each a full brute-force search).
+func BenchmarkElasticOptimize(b *testing.B) {
+	work := dist.MustLogNormal(1, 0.4)
+	su, err := resources.NewAmdahl(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := resources.JobCost{NodeAlpha: 1, TimeWeight: 20}
+	procs := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	st := strategy.BruteForce{M: 300, Mode: strategy.EvalAnalytic}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := resources.Optimize(work, cost, su, procs, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlatformReplay measures the job-by-job platform simulator.
+func BenchmarkPlatformReplay(b *testing.B) {
+	d := dist.MustLogNormal(3, 0.5)
+	m := core.ReservationOnly
+	s, err := strategy.MeanDoubling{}.Sequence(m, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Replay(m, d, s, 10000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMixtureQuantile measures the bisection-based mixture
+// quantile (the only non-closed-form quantile in the library).
+func BenchmarkMixtureQuantile(b *testing.B) {
+	m := dist.MustMixture(
+		[]dist.Distribution{dist.MustLogNormal(0, 0.3), dist.MustLogNormal(2, 0.3)},
+		[]float64{0.6, 0.4})
+	for i := 0; i < b.N; i++ {
+		p := float64(i%997+1) / 998
+		_ = m.Quantile(p)
+	}
+}
+
+// BenchmarkQueueSimulator measures the discrete-event cluster simulator
+// (1000 jobs, EASY backfilling on 16 nodes).
+func BenchmarkQueueSimulator(b *testing.B) {
+	wl := queuesim.WorkloadConfig{
+		Jobs: 1000, MaxJobNodes: 12, ArrivalRate: 1.0,
+		RequestedMin: 1, RequestedMax: 60, UseFraction: 0.7, Seed: 5,
+	}
+	jobs, err := queuesim.GenerateWorkload(wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, backfill := range []bool{false, true} {
+		name := "fcfs"
+		if backfill {
+			name = "easy-backfill"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := queuesim.Simulate(queuesim.Config{Nodes: 16, EnableBackfill: backfill}, jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOnlineLearner measures one learn-plan-run episode of 100
+// jobs for both estimators.
+func BenchmarkOnlineLearner(b *testing.B) {
+	truth := dist.MustLogNormal(1, 0.5)
+	prior := dist.MustExponential(0.2)
+	for _, est := range []online.Estimator{online.Empirical, online.SmoothedLogNormal} {
+		b.Run(est.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l, err := online.NewLearner(core.ReservationOnly, prior, online.Config{Estimator: est, DiscN: 100})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := online.Evaluate(l, truth, 100, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

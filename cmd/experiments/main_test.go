@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// smallCfg keeps the CLI integration test fast while exercising every
+// code path of runAll.
+func smallCfg() experiments.Config {
+	return experiments.Config{M: 120, N: 120, DiscN: 60, Epsilon: 1e-7, Seed: 3}
+}
+
+func TestRunAllWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := runAll(smallCfg(), "all", dir); err != nil {
+		t.Fatal(err)
+	}
+	// Every named table/figure leaves a CSV behind.
+	want := []string{
+		"table1.csv", "table2.csv", "table3.csv", "table4.csv", "fig4.csv",
+		"fig3_exponential.csv", "fig3_uniform.csv",
+		"ablation_taileps.csv", "ablation_scoring.csv",
+		"ablation_checkpoint.csv", "ablation_resources.csv",
+		"study_online.csv", "study_queuesim.csv", "study_misspec.csv",
+	}
+	for _, f := range want {
+		info, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("missing %s: %v", f, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestRunAllSingleExperiment(t *testing.T) {
+	if err := runAll(smallCfg(), "table1", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAll(smallCfg(), "exp1", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllUnknownName(t *testing.T) {
+	if err := runAll(smallCfg(), "nosuch", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseDistribution hardens the CLI distribution parser: arbitrary
+// input must either produce a usable distribution or a clean error —
+// never a panic, NaN mean, or invalid support.
+func FuzzParseDistribution(f *testing.F) {
+	seeds := []string{
+		"exponential(1)", "exp(0.5)", "weibull(1,0.5)", "gamma(2,2)",
+		"lognormal(3,0.5)", "truncnormal(8,1.41,0)", "pareto(1.5,3)",
+		"uniform(10,20)", "beta(2,2)", "boundedpareto(1,20,2.1)",
+		"", "()", "exp", "exp()", "exp(,)", "exp(1,2,3)", "exp(1e309)",
+		"exp(-1)", "exp(nan)", "exp(inf)", "uniform(20,10)",
+		"EXPONENTIAL(1)", " beta ( 2 , 2 ) ", "beta(2,2))", "((",
+		"lognormal(0,0)", "pareto(0,3)", "weird(1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ParseDistribution(in)
+		if err != nil {
+			if d != nil {
+				t.Errorf("%q: non-nil distribution with error %v", in, err)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatalf("%q: nil distribution without error", in)
+		}
+		m := d.Mean()
+		if math.IsNaN(m) || m < 0 {
+			t.Errorf("%q: invalid mean %g", in, m)
+		}
+		lo, hi := d.Support()
+		if math.IsNaN(lo) || lo < 0 || !(hi > lo) {
+			t.Errorf("%q: invalid support [%g, %g]", in, lo, hi)
+		}
+		// The quantile at the median must be inside the support.
+		med := d.Quantile(0.5)
+		if med < lo-1e-9 || (!math.IsInf(hi, 1) && med > hi+1e-9) {
+			t.Errorf("%q: median %g outside [%g, %g]", in, med, lo, hi)
+		}
+	})
+}

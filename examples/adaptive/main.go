@@ -1,0 +1,56 @@
+// Adaptive planning for an unknown distribution (internal/online): a
+// team starts submitting a brand-new pipeline whose execution-time law
+// nobody has profiled. The learner begins with a crude prior, observes
+// each finished job's exact duration, refits, and replans — converging
+// to the clairvoyant planner that knew the law all along.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/online"
+)
+
+func main() {
+	// The (unknown to the learner) truth: LogNormal(μ=1, σ=0.5) hours.
+	truth := dist.MustLogNormal(1, 0.5)
+	// The crude prior: "jobs take about 20 hours, exponentially spread".
+	prior := dist.MustExponential(0.05)
+	m := core.ReservationOnly
+
+	fmt.Printf("truth:  %s (mean %.2f h)\n", truth.Name(), truth.Mean())
+	fmt.Printf("prior:  %s (mean %.2f h)\n\n", prior.Name(), prior.Mean())
+
+	for _, est := range []online.Estimator{online.Empirical, online.SmoothedLogNormal} {
+		l, err := online.NewLearner(m, prior, online.Config{Estimator: est, DiscN: 150})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := online.Evaluate(l, truth, 500, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("estimator %-20s total %8.1f h  oracle %8.1f h  regret %7.1f h  tail ratio %.3f\n",
+			est, ev.TotalCost, ev.OracleTotal, ev.Regret, ev.TailRatio)
+
+		// Show the learning curve in blocks of 100 jobs.
+		fmt.Print("  per-100-job cost ratio vs oracle: ")
+		for b := 0; b < 5; b++ {
+			var lc, oc float64
+			for _, r := range ev.Runs[b*100 : (b+1)*100] {
+				lc += r.Cost
+				oc += r.OracleCost
+			}
+			fmt.Printf("%.2f ", lc/oc)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe first block pays for the bad prior; after ~100 observations both")
+	fmt.Println("estimators plan within a few percent of the clairvoyant optimum.")
+}

@@ -1,0 +1,86 @@
+// Checkpointing (the paper's §7 future work, implemented in
+// internal/checkpoint): when a reservation turns out too short, the
+// paper's base model loses all the work done. With checkpoint/restart,
+// each reservation can end with a snapshot (C time units) and the next
+// one resumes from it (R time units), so only the snapshot overhead is
+// at risk. This example quantifies that trade-off for a heavy-tailed
+// job on a pay-per-reservation platform, sweeping the checkpoint cost.
+//
+//	go run ./examples/checkpointing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/dist"
+	"repro/internal/dp"
+)
+
+func main() {
+	// A Weibull(κ=0.5) job: heavy tail, so late failures waste a lot of
+	// work under the reservation-only model.
+	job := dist.MustWeibull(1, 0.5)
+	dd, err := discretize.Discretize(job, 100, 1e-6, discretize.EqualProbability)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := core.ReservationOnly
+
+	// Baseline: the paper's optimal reservation-only strategy (Thm 5).
+	base, err := dp.Solve(dd, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job: %s (mean %.2f)\n", job.Name(), job.Mean())
+	fmt.Printf("reservation-only optimum (Theorem 5): expected cost %.4f over %d reservations\n\n",
+		base.ExpectedCost, len(base.Sequence))
+
+	fmt.Printf("%-10s %-12s %-12s %-12s %-10s %s\n",
+		"ckpt cost", "no-ckpt", "all-ckpt", "mixed-opt", "saving", "snapshots")
+	for _, c := range []float64{0, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2} {
+		p := checkpoint.Params{C: c, R: c} // restore as expensive as save
+		no, err := checkpoint.SolveNoCheckpoint(dd, m, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all, err := checkpoint.SolveAllCheckpoint(dd, m, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix, err := checkpoint.Solve(dd, m, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snaps := 0
+		for _, st := range mix.Steps {
+			if st.Checkpoint {
+				snaps++
+			}
+		}
+		fmt.Printf("%-10.2f %-12.4f %-12.4f %-12.4f %-9.1f%% %d/%d\n",
+			c, no.ExpectedCost, all.ExpectedCost, mix.ExpectedCost,
+			100*(1-mix.ExpectedCost/no.ExpectedCost), snaps, len(mix.Steps))
+	}
+
+	// Validate the winner against Monte-Carlo replay.
+	p := checkpoint.Params{C: 0.05, R: 0.05}
+	mix, err := checkpoint.Solve(dd, m, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := mix.Simulate(m, p, dd, 200000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nC=R=0.05 mixed policy: DP expectation %.4f, Monte-Carlo replay %.4f\n",
+		mix.ExpectedCost, sim)
+	fmt.Println("\npolicy detail (milestone, checkpoint?, reserved length):")
+	for i, st := range mix.Steps {
+		fmt.Printf("  step %2d: reach %-8.4g ckpt=%-5v reserve %.4g\n",
+			i+1, st.Milestone, st.Checkpoint, st.Length)
+	}
+}

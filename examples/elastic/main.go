@@ -1,0 +1,76 @@
+// Elastic requests (the paper's §7 future work, implemented in
+// internal/resources): choose both the reservation length AND the
+// number of processors. A job has random total work W; on p processors
+// it runs for σ(p)·W wall-clock units under Amdahl's law. The platform
+// bills requested node-hours, and the user additionally values
+// turnaround time — few processors waste time, many waste node-hours on
+// the serial fraction, so the optimum is interior.
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dist"
+	"repro/internal/resources"
+	"repro/internal/strategy"
+)
+
+func main() {
+	// Work follows LogNormal(μ=1, σ=0.4) node-hours.
+	work := dist.MustLogNormal(1, 0.4)
+	fmt.Printf("work law: %s, mean %.2f node-hours\n", work.Name(), work.Mean())
+
+	su, err := resources.NewAmdahl(0.05) // 5% serial fraction
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := resources.JobCost{
+		NodeAlpha:  1,  // $ per requested node-hour
+		TimeWeight: 20, // $ per wall-clock hour of reservation (deadline pressure)
+	}
+	fmt.Printf("speedup: %s; cost: $%g/node-hour requested + $%g/hour reserved\n\n",
+		su.Name(), cost.NodeAlpha, cost.TimeWeight)
+
+	procs := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	bf := strategy.BruteForce{M: 2000, Mode: strategy.EvalAnalytic}
+	best, all, err := resources.Optimize(work, cost, su, procs, bf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %-10s %-14s %s\n", "procs", "σ(p)", "expected cost", "first reservations (h)")
+	for _, ch := range all {
+		v, err := ch.Sequence.Clone().Prefix(3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := " "
+		if ch.Procs == best.Procs {
+			marker = "*"
+		}
+		fmt.Printf("%-6d %-10.4f $%-13.2f %.3g %s\n",
+			ch.Procs, su.TimePerWork(ch.Procs), ch.ExpectedCost, v, marker)
+	}
+	fmt.Printf("\nbest request shape: p = %d processors, first slot %.3f h, expected $%.2f/job\n",
+		best.Procs, firstOf(best), best.ExpectedCost)
+
+	// Contrast: bill node-hours only (no deadline pressure) → p = 1.
+	flat := resources.JobCost{NodeAlpha: 1}
+	bestFlat, _, err := resources.Optimize(work, flat, su, procs, bf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without turnaround pressure the optimum collapses to p = %d ($%.2f/job)\n",
+		bestFlat.Procs, bestFlat.ExpectedCost)
+}
+
+func firstOf(c resources.Choice) float64 {
+	v, err := c.Sequence.Clone().Prefix(1)
+	if err != nil || len(v) == 0 {
+		return 0
+	}
+	return v[0]
+}

@@ -1,0 +1,97 @@
+// NeuroHPC: the paper's §5.3 scenario end to end. A neuroscience
+// pipeline (VBMQA) runs thousands of jobs on an HPC cluster whose queue
+// wait grows affinely with the requested walltime. We (1) fit a
+// LogNormal law to the application's (synthetic) execution trace,
+// (2) fit the affine wait-time law from the (synthetic) scheduler log,
+// (3) plan a reservation strategy minimizing expected turnaround time,
+// and (4) replay a campaign of jobs on the simulated platform to check
+// the plan's prediction.
+//
+//	go run ./examples/neurohpc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/platform"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+func main() {
+	// --- 1. Fit the application's execution-time distribution. ---
+	runs, err := trace.GenerateRunTrace(trace.VBMQA, 5000, 0.01, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitSec, err := dist.FitLogNormal(runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VBMQA trace fit: LogNormal(μ=%.4f, σ=%.4f), KS=%.4f\n",
+		fitSec.Mu(), fitSec.Sigma(), dist.KSStatistic(runs, fitSec))
+
+	// Work in hours from here on.
+	d, err := dist.NewLogNormal(fitSec.Mu()-math.Log(platform.SecondsPerHour), fitSec.Sigma())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("execution time:  mean %.3f h, sd %.3f h\n\n", d.Mean(), dist.StdDev(d))
+
+	// --- 2. Fit the queue's wait-time law. ---
+	wlog, err := trace.GenerateWaitTimeLog(trace.Intrepid409, 20, 600, 72000, 0.05, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wfit, err := trace.FitWaitTimeModel(wlog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := platform.NeuroHPCFromWaitModel(wfit)
+	fmt.Printf("queue model fit: wait = %.3f·request + %.0f s  →  %v\n\n", wfit.Alpha, wfit.Gamma, m)
+
+	// --- 3. Plan with every heuristic; pick the winner. ---
+	strategies := append([]strategy.Strategy{
+		strategy.BruteForce{M: 3000, Mode: strategy.EvalAnalytic},
+	}, strategy.StandardHeuristics()...)
+	strategies = append(strategies,
+		strategy.Discretized{Scheme: 1, N: 1000},
+		strategy.Discretized{Scheme: 0, N: 1000},
+	)
+
+	fmt.Println("strategy comparison (expected turnaround per job, hours):")
+	var best *core.Sequence
+	bestCost := math.Inf(1)
+	bestName := ""
+	for _, st := range strategies {
+		s, err := st.Sequence(m, d)
+		if err != nil {
+			log.Fatalf("%s: %v", st.Name(), err)
+		}
+		e, err := core.ExpectedCost(m, d, s.Clone())
+		if err != nil {
+			log.Fatalf("%s: %v", st.Name(), err)
+		}
+		fmt.Printf("  %-18s %.4f h  (%.3f× omniscient)\n", st.Name(), e, e/m.OmniscientCost(d))
+		if e < bestCost {
+			best, bestCost, bestName = s, e, st.Name()
+		}
+	}
+	fmt.Printf("\nwinner: %s\n", bestName)
+	v, _ := best.Clone().Prefix(5)
+	fmt.Printf("request sequence (hours): %.4g\n\n", v)
+
+	// --- 4. Replay a 20,000-job campaign on the simulated platform. ---
+	rep, err := platform.Replay(m, d, best, 20000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign replay (20000 jobs):\n")
+	fmt.Printf("  mean turnaround: %.4f h (analytic prediction %.4f h)\n", rep.MeanCost, bestCost)
+	fmt.Printf("  mean attempts:   %.3f reservations/job\n", rep.MeanAttempts)
+	fmt.Printf("  utilization:     %.1f%% of reserved time used\n", 100*rep.Utilization)
+}

@@ -1,0 +1,57 @@
+// Quickstart: plan reservations for a stochastic job whose execution
+// time follows a known distribution, compare strategies, and price a
+// concrete run.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A job whose execution time is LogNormal(μ=3, σ=0.5) hours — the
+	// paper's Table-1 instantiation. Mean ≈ 22.8 hours, but any single
+	// run may take far longer.
+	job, err := repro.LogNormal(3, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job distribution: %s, mean %.1f h\n\n", job.Name(), job.Mean())
+
+	// Reserve on a cloud platform where you pay exactly what you
+	// request (AWS Reserved Instances): α=1, β=γ=0.
+	plan, err := repro.MakePlan(repro.ReservationOnly, job, repro.StrategyBruteForce,
+		repro.Options{GridM: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("brute-force reservation sequence (hours): %.4g\n", plan.Reservations[:6])
+	fmt.Printf("expected cost: %.2f h — %.2f× the omniscient scheduler\n\n",
+		plan.ExpectedCost, plan.NormalizedCost)
+
+	// Price a few concrete runs under the plan.
+	for _, t := range []float64{12.0, 25.0, 60.0} {
+		cost, attempts, err := plan.CostFor(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("a run of %5.1f h costs %6.2f h of reservations over %d attempt(s)\n",
+			t, cost, attempts)
+	}
+	fmt.Println()
+
+	// Compare all strategies.
+	fmt.Println("strategy comparison (normalized expected cost, lower is better):")
+	for _, name := range repro.Strategies() {
+		p, err := repro.MakePlan(repro.ReservationOnly, job, name,
+			repro.Options{GridM: 2000, DiscN: 1000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %.3f\n", name, p.NormalizedCost)
+	}
+}

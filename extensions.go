@@ -1,0 +1,100 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/discretize"
+	"repro/internal/dist"
+	"repro/internal/resources"
+	"repro/internal/strategy"
+)
+
+// This file exposes the two §7 future-work extensions through the
+// public facade: checkpoint/restart policies and elastic
+// (processors × duration) requests, plus mixture distributions for
+// multi-modal job populations.
+
+// Mixture builds the mixture Σ w_i·D_i of execution-time laws (weights
+// are normalized). Useful for multi-modal job populations.
+func Mixture(components []Distribution, weights []float64) (Distribution, error) {
+	return dist.NewMixture(components, weights)
+}
+
+// CheckpointPolicy is a reservation policy whose steps may end with a
+// checkpoint; see MakeCheckpointPlan.
+type CheckpointPolicy = checkpoint.Policy
+
+// CheckpointStep is one reservation of a CheckpointPolicy.
+type CheckpointStep = checkpoint.Step
+
+// CheckpointParams are the snapshot write (C) and restore (R) costs.
+type CheckpointParams = checkpoint.Params
+
+// MakeCheckpointPlan computes the optimal checkpoint/restart policy for
+// a job distribution: the distribution is discretized (EQUAL-PROBABILITY,
+// opts.DiscN points, capped at 150 because the mixed DP is O(n³)) and
+// solved exactly. The returned policy's ExpectedCost is with respect to
+// the discretized law.
+func MakeCheckpointPlan(m CostModel, d Distribution, p CheckpointParams, opts Options) (CheckpointPolicy, error) {
+	if err := m.Validate(); err != nil {
+		return CheckpointPolicy{}, err
+	}
+	n := opts.DiscN
+	if n <= 0 {
+		n = 100
+	}
+	if n > 150 {
+		n = 150
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	dd, err := discretize.Discretize(d, n, eps, discretize.EqualProbability)
+	if err != nil {
+		return CheckpointPolicy{}, err
+	}
+	pol, err := checkpoint.Solve(dd, m, p)
+	if err != nil {
+		return CheckpointPolicy{}, err
+	}
+	return pol, nil
+}
+
+// ElasticCost prices two-dimensional (processors, duration) requests;
+// see OptimizeProcs.
+type ElasticCost = resources.JobCost
+
+// ElasticChoice is one fixed-processor-count solution.
+type ElasticChoice = resources.Choice
+
+// SpeedupModel maps processor counts to time-per-unit-work.
+type SpeedupModel = resources.SpeedupModel
+
+// AmdahlSpeedup returns the Amdahl law with the given serial fraction.
+func AmdahlSpeedup(serialFraction float64) (SpeedupModel, error) {
+	return resources.NewAmdahl(serialFraction)
+}
+
+// PowerLawSpeedup returns σ(p) = p^{-e} for an efficiency exponent e in
+// (0, 1].
+func PowerLawSpeedup(exponent float64) (SpeedupModel, error) {
+	return resources.NewPowerLaw(exponent)
+}
+
+// OptimizeProcs solves the elastic-request problem: given the law of
+// the job's total work, a two-dimensional cost, a speedup model and the
+// admissible processor counts, it returns the cheapest combination of
+// processor count and reservation sequence, plus every per-p solution.
+func OptimizeProcs(work Distribution, cost ElasticCost, su SpeedupModel, procs []int, opts Options) (ElasticChoice, []ElasticChoice, error) {
+	if su == nil {
+		return ElasticChoice{}, nil, fmt.Errorf("repro: a speedup model is required")
+	}
+	gridM := opts.GridM
+	if gridM <= 0 {
+		gridM = 1000
+	}
+	st := strategy.BruteForce{M: gridM, Mode: strategy.EvalAnalytic}
+	return resources.Optimize(work, cost, su, procs, st)
+}

@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixtureFacade(t *testing.T) {
+	small, _ := LogNormal(0, 0.3)
+	large, _ := LogNormal(2, 0.3)
+	mix, err := Mixture([]Distribution{small, large}, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plan over the bimodal law works end to end and exploits the
+	// modes: the first reservation covers the small mode.
+	p, err := MakePlan(ReservationOnly, mix, StrategyBruteForce, Options{GridM: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NormalizedCost < 1 || p.NormalizedCost > 4 {
+		t.Errorf("mixture plan cost %g", p.NormalizedCost)
+	}
+	if p.Reservations[0] >= large.Mean() {
+		t.Errorf("first reservation %g does not target the small mode", p.Reservations[0])
+	}
+	if _, err := Mixture(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+}
+
+func TestMakeCheckpointPlanFacade(t *testing.T) {
+	d, _ := Weibull(1, 0.5)
+	pol, err := MakeCheckpointPlan(ReservationOnly, d, CheckpointParams{C: 0.05, R: 0.05}, Options{DiscN: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Steps) == 0 || pol.ExpectedCost <= 0 {
+		t.Fatalf("policy = %+v", pol)
+	}
+	// Against the reservation-only plan on the same law, checkpointing
+	// must win on this heavy tail.
+	plain, err := MakePlan(ReservationOnly, d, StrategyEqualProb, Options{DiscN: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pol.ExpectedCost < plain.ExpectedCost) {
+		t.Errorf("checkpointing (%g) does not beat plain reservations (%g)", pol.ExpectedCost, plain.ExpectedCost)
+	}
+	// Validation passes through.
+	if _, err := MakeCheckpointPlan(CostModel{}, d, CheckpointParams{}, Options{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := MakeCheckpointPlan(ReservationOnly, d, CheckpointParams{C: -1}, Options{}); err == nil {
+		t.Error("negative C accepted")
+	}
+}
+
+func TestOptimizeProcsFacade(t *testing.T) {
+	work, _ := LogNormal(1, 0.4)
+	su, err := AmdahlSpeedup(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := ElasticCost{NodeAlpha: 1, TimeWeight: 20}
+	best, all, err := OptimizeProcs(work, cost, su, []int{1, 4, 16, 64}, Options{GridM: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("%d choices", len(all))
+	}
+	if best.Procs != 4 && best.Procs != 16 {
+		t.Errorf("best p = %d, want interior", best.Procs)
+	}
+	if _, err := AmdahlSpeedup(2); err == nil {
+		t.Error("bad serial fraction accepted")
+	}
+	if _, err := PowerLawSpeedup(0.5); err != nil {
+		t.Errorf("power law rejected: %v", err)
+	}
+	if _, _, err := OptimizeProcs(work, cost, nil, []int{1}, Options{}); err == nil {
+		t.Error("nil speedup accepted")
+	}
+}
+
+func TestCheckpointPolicyCostThroughFacade(t *testing.T) {
+	d, _ := Exponential(1)
+	p := CheckpointParams{C: 0.1, R: 0.1}
+	pol, err := MakeCheckpointPlan(ReservationOnly, d, p, Options{DiscN: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Price a concrete job under the policy.
+	c, err := pol.Cost(ReservationOnly, p, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 || math.IsInf(c, 0) {
+		t.Errorf("cost = %g", c)
+	}
+}

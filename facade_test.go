@@ -1,0 +1,213 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMakePlanBruteForceExponential(t *testing.T) {
+	d, err := Exponential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := MakePlan(ReservationOnly, d, StrategyBruteForce, Options{GridM: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Reservations[0]-0.742) > 0.05 {
+		t.Errorf("t1 = %g, want ≈0.742", p.Reservations[0])
+	}
+	if p.NormalizedCost < 2.2 || p.NormalizedCost > 2.5 {
+		t.Errorf("normalized cost = %g, want ≈2.36", p.NormalizedCost)
+	}
+	// Cost for a specific job: duration 0.5 fits the first reservation.
+	c, k, err := p.CostFor(0.5)
+	if err != nil || k != 1 {
+		t.Fatalf("CostFor: %g, %d, %v", c, k, err)
+	}
+	if math.Abs(c-p.Reservations[0]) > 1e-12 {
+		t.Errorf("cost = %g, want t1", c)
+	}
+}
+
+func TestMakePlanAllStrategies(t *testing.T) {
+	d, err := LogNormal(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Strategies() {
+		p, err := MakePlan(ReservationOnly, d, name, Options{GridM: 300, DiscN: 200})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.NormalizedCost < 1 || math.IsNaN(p.NormalizedCost) {
+			t.Errorf("%s: normalized cost %g", name, p.NormalizedCost)
+		}
+		if len(p.Reservations) == 0 {
+			t.Errorf("%s: empty preview", name)
+		}
+	}
+}
+
+func TestMakePlanUnknownStrategy(t *testing.T) {
+	d, _ := Exponential(1)
+	if _, err := MakePlan(ReservationOnly, d, "nope", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown strategy") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := MakePlan(CostModel{}, d, StrategyMeanByMean, Options{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestMakePlanDefaultStrategy(t *testing.T) {
+	d, _ := Uniform(10, 20)
+	p, err := MakePlan(ReservationOnly, d, "", Options{GridM: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != "" && p.Strategy != StrategyBruteForce {
+		t.Errorf("strategy = %q", p.Strategy)
+	}
+	if math.Abs(p.NormalizedCost-4.0/3.0) > 0.02 {
+		t.Errorf("Uniform plan cost %g, want 4/3", p.NormalizedCost)
+	}
+}
+
+func TestPlanSimulateAgreesWithAnalytic(t *testing.T) {
+	d, _ := Gamma(2, 2)
+	p, err := MakePlan(ReservationOnly, d, StrategyMeanDoubling, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, se, err := p.Simulate(d, 50000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(norm-p.NormalizedCost) > 5*se+0.01 {
+		t.Errorf("simulated %g ± %g vs analytic %g", norm, se, p.NormalizedCost)
+	}
+}
+
+func TestReservedVsOnDemand(t *testing.T) {
+	d, _ := Exponential(1)
+	p, err := MakePlan(ReservationOnly, d, StrategyBruteForce, Options{GridM: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.ReservedVsOnDemand(4)
+	if err != nil || !ok {
+		t.Errorf("factor 4 should favour reservations (cost %g)", p.NormalizedCost)
+	}
+	ok, err = p.ReservedVsOnDemand(1.5)
+	if err != nil || ok {
+		t.Errorf("factor 1.5 should not favour reservations (cost %g)", p.NormalizedCost)
+	}
+}
+
+func TestFitAndPlanFromTrace(t *testing.T) {
+	// End-to-end: empirical trace → fitted LogNormal → plan.
+	base, _ := LogNormal(7.1128, 0.2039)
+	var samples []float64
+	for i := 0; i < 4000; i++ {
+		samples = append(samples, base.Quantile((float64(i)+0.5)/4000))
+	}
+	fitted, err := FitLogNormal(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := MakePlan(NeuroHPC(), fitted, StrategyEqualProb, Options{DiscN: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NormalizedCost < 1 {
+		t.Errorf("normalized cost %g", p.NormalizedCost)
+	}
+
+	emp, err := Empirical(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(emp.Mean()-base.Mean()) > 0.02*base.Mean() {
+		t.Errorf("empirical mean %g vs %g", emp.Mean(), base.Mean())
+	}
+}
+
+func TestLogNormalFromMomentsFacade(t *testing.T) {
+	d, err := LogNormalFromMoments(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-10) > 1e-9 {
+		t.Errorf("mean = %g", d.Mean())
+	}
+}
+
+func TestStrategiesSortedUnique(t *testing.T) {
+	s := Strategies()
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Errorf("strategies not sorted/unique at %d: %v", i, s)
+		}
+	}
+	if len(s) != 8 {
+		t.Errorf("expected 8 strategies, got %d", len(s))
+	}
+}
+
+func TestPlanStatsAndQuantiles(t *testing.T) {
+	d, _ := LogNormal(3, 0.5)
+	p, err := MakePlan(ReservationOnly, d, StrategyBruteForce, Options{GridM: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Stats(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpectedAttempts < 1 || st.Utilization <= 0 || st.Utilization > 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.ExpectedCost-p.ExpectedCost) > 1e-9*p.ExpectedCost {
+		t.Errorf("stats cost %g vs plan cost %g", st.ExpectedCost, p.ExpectedCost)
+	}
+	p50, err := p.CostQuantile(d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, err := p.CostQuantile(d, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p50 < p99) {
+		t.Errorf("p50 %g not below p99 %g", p50, p99)
+	}
+	if !(p50 <= p.ExpectedCost && p.ExpectedCost <= p99) {
+		t.Errorf("expected cost %g outside [p50 %g, p99 %g]", p.ExpectedCost, p50, p99)
+	}
+}
+
+func TestMakePlanMaxAttempts(t *testing.T) {
+	d, _ := LogNormal(1, 0.5)
+	capped, err := MakePlan(ReservationOnly, d, StrategyEqualProb, Options{DiscN: 300, MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := MakePlan(ReservationOnly, d, StrategyEqualProb, Options{DiscN: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The truncation-covering part of the capped plan uses at most 2
+	// reservations (the doubling tail beyond carries ~1e-7 mass).
+	st, err := capped.Stats(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpectedAttempts > 2 {
+		t.Errorf("capped plan expects %g attempts", st.ExpectedAttempts)
+	}
+	if capped.ExpectedCost < free.ExpectedCost-1e-9 {
+		t.Errorf("capped plan (%g) beats unconstrained (%g)", capped.ExpectedCost, free.ExpectedCost)
+	}
+}

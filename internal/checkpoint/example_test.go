@@ -1,0 +1,26 @@
+package checkpoint_test
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// ExampleSolve computes an optimal checkpoint policy for a discrete law
+// where checkpoints are cheap: after the first milestone fails, the
+// saved progress makes the retry far shorter.
+func ExampleSolve() {
+	d, _ := dist.NewDiscrete([]float64{2, 10}, []float64{0.7, 0.3})
+	pol, _ := checkpoint.Solve(d, core.ReservationOnly, checkpoint.Params{C: 0.1, R: 0.1})
+	for i, st := range pol.Steps {
+		fmt.Printf("step %d: reach %g, checkpoint=%v, reserve %.1f\n",
+			i+1, st.Milestone, st.Checkpoint, st.Length)
+	}
+	fmt.Printf("expected cost %.2f\n", pol.ExpectedCost)
+	// Output:
+	// step 1: reach 2, checkpoint=true, reserve 2.1
+	// step 2: reach 10, checkpoint=false, reserve 8.1
+	// expected cost 4.53
+}

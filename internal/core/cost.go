@@ -1,0 +1,93 @@
+// Package core implements the paper's primary contribution: the
+// reservation cost model for stochastic jobs (Eq. 1–2), the expected
+// cost of a reservation sequence in both its integral form (Eq. 3) and
+// the closed summation form of Theorem 1 (Eq. 4), the upper bounds of
+// Theorem 2 (Eqs. 6–7), the optimal-sequence recurrence of Theorem 3 /
+// Proposition 1 (Eq. 11), and the convex-cost generalization of
+// Appendix C (Theorem 14 / Proposition 3, Eq. 37).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// CostModel is the affine reservation cost of Eq. (1): a reservation of
+// length t1 for a job of actual duration t costs
+// Alpha·t1 + Beta·min(t1, t) + Gamma.
+type CostModel struct {
+	// Alpha > 0 scales the requested (reserved) duration.
+	Alpha float64
+	// Beta >= 0 scales the actually used duration.
+	Beta float64
+	// Gamma >= 0 is the per-reservation start-up overhead.
+	Gamma float64
+}
+
+// ReservationOnly is the RESERVATIONONLY instance of the problem
+// (§2.3): cost is the reservation length alone (α=1, β=γ=0), as in the
+// AWS Reserved Instance pricing scheme.
+var ReservationOnly = CostModel{Alpha: 1}
+
+// Validate reports whether the parameters satisfy the paper's
+// constraints (α > 0, β >= 0, γ >= 0, all finite).
+func (m CostModel) Validate() error {
+	if !(m.Alpha > 0) || math.IsInf(m.Alpha, 0) || math.IsNaN(m.Alpha) {
+		return fmt.Errorf("core: Alpha must be positive and finite, got %g", m.Alpha)
+	}
+	if m.Beta < 0 || math.IsInf(m.Beta, 0) || math.IsNaN(m.Beta) {
+		return fmt.Errorf("core: Beta must be nonnegative and finite, got %g", m.Beta)
+	}
+	if m.Gamma < 0 || math.IsInf(m.Gamma, 0) || math.IsNaN(m.Gamma) {
+		return fmt.Errorf("core: Gamma must be nonnegative and finite, got %g", m.Gamma)
+	}
+	return nil
+}
+
+// String returns a compact display form.
+func (m CostModel) String() string {
+	return fmt.Sprintf("cost(α=%g, β=%g, γ=%g)", m.Alpha, m.Beta, m.Gamma)
+}
+
+// AttemptCost returns the cost of a single reservation of length res
+// for a job of actual duration t (Eq. 1).
+func (m CostModel) AttemptCost(res, t float64) float64 {
+	return m.Alpha*res + m.Beta*math.Min(res, t) + m.Gamma
+}
+
+// ErrUncovered is returned when a finite reservation sequence ends
+// before covering a job duration (or the distribution's support): the
+// job can never complete under that strategy, so its cost is infinite.
+var ErrUncovered = errors.New("core: sequence does not cover the job duration")
+
+// RunCost returns the total cost C(k, t) of executing a job of duration
+// t under the sequence s (Eq. 2): every reservation shorter than t is
+// paid in full (used time = reserved time), and the first reservation
+// >= t is paid with used time t. The returned attempts value is k, the
+// number of reservations paid.
+func (m CostModel) RunCost(s *Sequence, t float64) (cost float64, attempts int, err error) {
+	for i := 0; ; i++ {
+		ti, err := s.At(i)
+		if err != nil {
+			if errors.Is(err, ErrEnd) {
+				return math.Inf(1), i, ErrUncovered
+			}
+			return math.NaN(), i, err
+		}
+		if t <= ti {
+			return cost + m.AttemptCost(ti, t), i + 1, nil
+		}
+		cost += m.AttemptCost(ti, ti)
+	}
+}
+
+// OmniscientCost returns the expected cost E^o = (α+β)·E[X] + γ of the
+// omniscient scheduler that knows each job's duration in advance and
+// reserves exactly that long (§5.1). Normalizing by this value yields
+// the paper's performance ratios.
+func (m CostModel) OmniscientCost(d dist.Distribution) float64 {
+	return (m.Alpha+m.Beta)*d.Mean() + m.Gamma
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/quad"
+)
+
+// ExpectedCostIntegral evaluates the expected cost directly from the
+// definition (Eq. 3):
+//
+//	E(S) = Σ_{k>=1} ∫_{t_{k-1}}^{t_k} C(k, t) f(t) dt
+//
+// by numerical quadrature over each segment. It is O(segments ×
+// quadrature) and exists to validate Theorem 1: ExpectedCost (the
+// closed summation form, Eq. 4) must agree with this integral for every
+// distribution and sequence. Production code should use ExpectedCost.
+func ExpectedCostIntegral(m CostModel, d dist.Distribution, s *Sequence) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return math.NaN(), err
+	}
+	sum := 0.0
+	prefixCost := 0.0 // Σ_{i<k} (α t_i + β t_i + γ)
+	tPrev := 0.0
+	for k := 0; ; k++ {
+		sf := d.Survival(tPrev)
+		if sf <= survivalCutoff {
+			return sum, nil
+		}
+		tk, err := s.At(k)
+		if err != nil {
+			if errors.Is(err, ErrEnd) {
+				return math.Inf(1), nil
+			}
+			return math.NaN(), err
+		}
+		// ∫_{tPrev}^{tk} (prefixCost + α tk + β t + γ) f(t) dt
+		seg, qerr := quad.Integrate(func(t float64) float64 {
+			return (prefixCost + m.Alpha*tk + m.Beta*t + m.Gamma) * d.PDF(t)
+		}, tPrev, tk, 1e-12)
+		if qerr != nil && seg == 0 {
+			return math.NaN(), qerr
+		}
+		sum += seg
+		prefixCost += m.Alpha*tk + m.Beta*tk + m.Gamma
+		tPrev = tk
+	}
+}

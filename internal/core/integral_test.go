@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// testSequences builds representative sequences for a distribution:
+// doubling and arithmetic for unbounded supports, midpoint+bound and
+// bound-only for bounded ones.
+func testSequences(d dist.Distribution) []*Sequence {
+	lo, hi := d.Support()
+	if math.IsInf(hi, 1) {
+		mean := d.Mean()
+		doubling := NewSequence(func(i int, _ []float64) (float64, bool) {
+			return mean * math.Pow(2, float64(i)), true
+		})
+		arithmetic := NewSequence(func(i int, _ []float64) (float64, bool) {
+			return mean * float64(i+1), true
+		})
+		return []*Sequence{doubling, arithmetic}
+	}
+	mid := (lo + hi) / 2
+	if mid <= 0 {
+		mid = hi / 2
+	}
+	two, err := NewExplicitSequence(mid, hi)
+	if err != nil {
+		panic(err)
+	}
+	one, err := NewExplicitSequence(hi)
+	if err != nil {
+		panic(err)
+	}
+	return []*Sequence{two, one}
+}
+
+// TestTheorem1Equivalence: the closed summation form of Eq. (4) must
+// agree with the direct Eq.-(3) integral for every Table-1 distribution
+// and several sequence shapes and cost models — a numerical proof of
+// Theorem 1 over the whole workload suite.
+func TestTheorem1Equivalence(t *testing.T) {
+	models := []CostModel{
+		ReservationOnly,
+		{Alpha: 1, Beta: 1, Gamma: 0},
+		{Alpha: 0.95, Beta: 1, Gamma: 1.05},
+		{Alpha: 2, Beta: 0.25, Gamma: 0.5},
+	}
+	for _, d := range dist.Table1() {
+		for si, mk := range testSequences(d) {
+			for _, m := range models {
+				closed, err := ExpectedCost(m, d, mk.Clone())
+				if err != nil {
+					t.Fatalf("%s seq%d %v: closed form: %v", d.Name(), si, m, err)
+				}
+				integral, err := ExpectedCostIntegral(m, d, mk.Clone())
+				if err != nil {
+					t.Fatalf("%s seq%d %v: integral: %v", d.Name(), si, m, err)
+				}
+				// Tolerance matches the documented worst-case series
+				// truncation (~1e-4) for slowly growing sequences over
+				// power-law tails (see survivalCutoff in expected.go);
+				// all other combinations agree to ~1e-9.
+				if math.Abs(closed-integral) > 1e-4*math.Max(1, closed) {
+					t.Errorf("%s seq%d %v: Eq.(4) %.10g vs Eq.(3) %.10g",
+						d.Name(), si, m, closed, integral)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegralUncovered: the Eq.-(3) evaluator also reports infinite
+// cost for uncovering sequences.
+func TestIntegralUncovered(t *testing.T) {
+	d := dist.MustUniform(10, 20)
+	s, err := NewExplicitSequence(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ExpectedCostIntegral(ReservationOnly, d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(e, 1) {
+		t.Errorf("uncovered integral cost = %g, want +Inf", e)
+	}
+}
+
+// TestIntegralRejectsInvalidModel mirrors the closed form's validation.
+func TestIntegralRejectsInvalidModel(t *testing.T) {
+	d := dist.MustExponential(1)
+	s, _ := NewExplicitSequence(1, 2, 4)
+	if _, err := ExpectedCostIntegral(CostModel{}, d, s); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// SequenceStats are closed-form operating statistics of a reservation
+// strategy, the quantities a capacity planner or SLA report needs
+// beyond the expected cost. All are exact sums over the sequence (same
+// truncation rules as ExpectedCost):
+//
+//	E[attempts]  = Σ_{i>=0} P(X >= t_i)             (t_0 = 0)
+//	E[reserved]  = Σ_{i>=0} t_{i+1}·P(X >= t_i)
+//	E[used]      = E[X] + Σ_{i>=1} t_i·P(X >= t_i)
+type SequenceStats struct {
+	// ExpectedCost is the Eq.-(4) expected cost.
+	ExpectedCost float64
+	// ExpectedAttempts is the mean number of reservations paid.
+	ExpectedAttempts float64
+	// ExpectedReserved is the mean total reserved duration.
+	ExpectedReserved float64
+	// ExpectedUsed is the mean total platform time actually consumed
+	// (failed attempts run to their full length; the final attempt runs
+	// for the job's duration).
+	ExpectedUsed float64
+	// Utilization = ExpectedUsed / ExpectedReserved.
+	Utilization float64
+	// AttemptProbs[i] = P(the job needs exactly i+1 reservations),
+	// truncated once the tail is negligible.
+	AttemptProbs []float64
+}
+
+// Stats computes the operating statistics of a sequence under a
+// distribution and cost model.
+func Stats(m CostModel, d dist.Distribution, s *Sequence) (SequenceStats, error) {
+	if err := m.Validate(); err != nil {
+		return SequenceStats{}, err
+	}
+	st := SequenceStats{ExpectedUsed: d.Mean()}
+	st.ExpectedCost = m.Beta * d.Mean()
+	tPrev := 0.0
+	prevSF := 1.0
+	for i := 0; ; i++ {
+		sf := d.Survival(tPrev)
+		if i > 0 {
+			// P(exactly i attempts) = P(X >= t_{i-1}) - P(X >= t_i).
+			st.AttemptProbs = append(st.AttemptProbs, prevSF-sf)
+		}
+		if sf <= survivalCutoff {
+			break
+		}
+		ti, err := s.At(i)
+		if err != nil {
+			if errors.Is(err, ErrEnd) {
+				return SequenceStats{}, ErrUncovered
+			}
+			return SequenceStats{}, err
+		}
+		st.ExpectedCost += (m.Alpha*ti + m.Beta*tPrev + m.Gamma) * sf
+		st.ExpectedAttempts += sf
+		st.ExpectedReserved += ti * sf
+		if i > 0 {
+			st.ExpectedUsed += tPrev * sf
+		}
+		term := ti * sf
+		if sf < 1e-9 && term < expectedCostTol*math.Max(1, st.ExpectedReserved) {
+			// Close the attempt distribution with the residual mass.
+			st.AttemptProbs = append(st.AttemptProbs, sf)
+			break
+		}
+		tPrev = ti
+		prevSF = sf
+	}
+	if st.ExpectedReserved > 0 {
+		st.Utilization = st.ExpectedUsed / st.ExpectedReserved
+	}
+	return st, nil
+}
+
+// CostQuantile returns the p-quantile of the total cost under the
+// strategy. Because the run cost is nondecreasing in the job duration
+// (each longer job pays at least as many, at least as long
+// reservations), the cost quantile is the cost of the duration
+// quantile.
+func CostQuantile(m CostModel, d dist.Distribution, s *Sequence, p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN(), errors.New("core: quantile probability must be in [0, 1]")
+	}
+	t := d.Quantile(p)
+	if math.IsInf(t, 1) {
+		return math.Inf(1), nil
+	}
+	lo, _ := d.Support()
+	if t < lo {
+		t = lo
+	}
+	c, _, err := m.RunCost(s, t)
+	return c, err
+}

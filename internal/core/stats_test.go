@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestStatsExponentialClosedForms(t *testing.T) {
+	// Exp(1) with the arithmetic sequence t_i = i:
+	// E[attempts] = Σ_{i>=0} e^{-i} = 1/(1-e^{-1});
+	// E[reserved] = Σ (i+1)e^{-i} = 1/(1-e^{-1})²;
+	// E[used] = 1 + Σ_{i>=1} i·e^{-i} = 1 + e^{-1}/(1-e^{-1})².
+	d := dist.MustExponential(1)
+	s := NewSequence(func(i int, _ []float64) (float64, bool) {
+		return float64(i + 1), true
+	})
+	st, err := Stats(ReservationOnly, d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 1 - math.Exp(-1)
+	if math.Abs(st.ExpectedAttempts-1/q) > 1e-9 {
+		t.Errorf("attempts = %.9g, want %.9g", st.ExpectedAttempts, 1/q)
+	}
+	if math.Abs(st.ExpectedReserved-1/(q*q)) > 1e-9 {
+		t.Errorf("reserved = %.9g, want %.9g", st.ExpectedReserved, 1/(q*q))
+	}
+	wantUsed := 1 + math.Exp(-1)/(q*q)
+	if math.Abs(st.ExpectedUsed-wantUsed) > 1e-9 {
+		t.Errorf("used = %.9g, want %.9g", st.ExpectedUsed, wantUsed)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Errorf("utilization = %g", st.Utilization)
+	}
+	// Consistency with ExpectedCost.
+	e, err := ExpectedCost(ReservationOnly, d, s.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.ExpectedCost-e) > 1e-9 {
+		t.Errorf("stats cost %g vs ExpectedCost %g", st.ExpectedCost, e)
+	}
+}
+
+func TestStatsAttemptDistribution(t *testing.T) {
+	// Uniform(10, 20) with S = (15, 20): P(1 attempt) = 0.5, P(2) = 0.5.
+	d := dist.MustUniform(10, 20)
+	s, err := NewExplicitSequence(15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Stats(ReservationOnly, d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.AttemptProbs) < 2 {
+		t.Fatalf("attempt probs = %v", st.AttemptProbs)
+	}
+	if math.Abs(st.AttemptProbs[0]-0.5) > 1e-12 || math.Abs(st.AttemptProbs[1]-0.5) > 1e-12 {
+		t.Errorf("attempt probs = %v, want [0.5 0.5]", st.AttemptProbs)
+	}
+	total := 0.0
+	for _, p := range st.AttemptProbs {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("attempt probs sum to %g", total)
+	}
+	if math.Abs(st.ExpectedAttempts-1.5) > 1e-12 {
+		t.Errorf("attempts = %g, want 1.5", st.ExpectedAttempts)
+	}
+	// Reserved: 15 + 0.5·20 = 25; used: E[X] + 15·P(X>=15) = 15+7.5.
+	if math.Abs(st.ExpectedReserved-25) > 1e-12 {
+		t.Errorf("reserved = %g, want 25", st.ExpectedReserved)
+	}
+	if math.Abs(st.ExpectedUsed-22.5) > 1e-12 {
+		t.Errorf("used = %g, want 22.5", st.ExpectedUsed)
+	}
+}
+
+func TestStatsUncovered(t *testing.T) {
+	d := dist.MustUniform(10, 20)
+	s, _ := NewExplicitSequence(15)
+	if _, err := Stats(ReservationOnly, d, s); !errors.Is(err, ErrUncovered) {
+		t.Errorf("err = %v, want ErrUncovered", err)
+	}
+	if _, err := Stats(CostModel{}, d, s); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestCostQuantileMonotone(t *testing.T) {
+	d := dist.MustLogNormal(3, 0.5)
+	m := CostModel{Alpha: 1, Beta: 0.5, Gamma: 1}
+	s := NewSequence(func(i int, _ []float64) (float64, bool) {
+		return d.Mean() * math.Pow(2, float64(i)), true
+	})
+	prev := -1.0
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		c, err := CostQuantile(m, d, s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev {
+			t.Errorf("cost quantile decreased at %g: %g after %g", p, c, prev)
+		}
+		prev = c
+	}
+	// Median cost equals the cost of the median duration.
+	med := dist.Median(d)
+	want, _, err := m.RunCost(s.Clone(), med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CostQuantile(m, d, s.Clone(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("median cost %g vs %g", got, want)
+	}
+	if _, err := CostQuantile(m, d, s, 1.5); err == nil {
+		t.Error("p out of range accepted")
+	}
+	if c, err := CostQuantile(m, d, s, 1); err != nil || !math.IsInf(c, 1) {
+		t.Errorf("p=1 on unbounded support: %g, %v", c, err)
+	}
+}
+
+func TestStatsAgreeWithTable1(t *testing.T) {
+	// Across Table-1 laws with a doubling sequence: attempts >= 1,
+	// utilization in (0, 1], used <= reserved, attempt probs sum to ~1.
+	for _, d := range dist.Table1() {
+		mean := d.Mean()
+		s := NewSequence(func(i int, _ []float64) (float64, bool) {
+			return mean * math.Pow(2, float64(i)), true
+		})
+		st, err := Stats(ReservationOnly, d, s)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if st.ExpectedAttempts < 1 {
+			t.Errorf("%s: attempts %g < 1", d.Name(), st.ExpectedAttempts)
+		}
+		if st.ExpectedUsed > st.ExpectedReserved+1e-9 {
+			t.Errorf("%s: used %g > reserved %g", d.Name(), st.ExpectedUsed, st.ExpectedReserved)
+		}
+		if st.Utilization <= 0 || st.Utilization > 1+1e-12 {
+			t.Errorf("%s: utilization %g", d.Name(), st.Utilization)
+		}
+		total := 0.0
+		for _, p := range st.AttemptProbs {
+			if p < -1e-12 {
+				t.Errorf("%s: negative attempt prob %g", d.Name(), p)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-6 {
+			t.Errorf("%s: attempt probs sum %g", d.Name(), total)
+		}
+	}
+}

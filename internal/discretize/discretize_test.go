@@ -1,0 +1,151 @@
+package discretize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestEqualProbabilityUniform(t *testing.T) {
+	u := dist.MustUniform(10, 20)
+	d, err := Discretize(u, 10, 0, EqualProbability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("len = %d, want 10", d.Len())
+	}
+	// v_i = Q(i/10) = 10 + i; all probabilities 0.1.
+	for i, v := range d.Values() {
+		if math.Abs(v-float64(11+i)) > 1e-12 {
+			t.Errorf("v[%d] = %g, want %d", i, v, 11+i)
+		}
+		if math.Abs(d.Probs()[i]-0.1) > 1e-12 {
+			t.Errorf("f[%d] = %g, want 0.1", i, d.Probs()[i])
+		}
+	}
+	if math.Abs(d.Total()-1) > 1e-12 {
+		t.Errorf("total = %g, want 1", d.Total())
+	}
+}
+
+func TestEqualTimeUniform(t *testing.T) {
+	u := dist.MustUniform(10, 20)
+	d, err := Discretize(u, 5, 0, EqualTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v_i = 10 + 2i, each cell mass 0.2.
+	want := []float64{12, 14, 16, 18, 20}
+	for i, v := range d.Values() {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Errorf("v[%d] = %g, want %g", i, v, want[i])
+		}
+		if math.Abs(d.Probs()[i]-0.2) > 1e-12 {
+			t.Errorf("f[%d] = %g, want 0.2", i, d.Probs()[i])
+		}
+	}
+}
+
+func TestTruncationMass(t *testing.T) {
+	e := dist.MustExponential(1)
+	eps := 1e-4
+	for _, scheme := range []Scheme{EqualProbability, EqualTime} {
+		d, err := Discretize(e, 100, eps, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.Total()-(1-eps)) > 1e-9 {
+			t.Errorf("%v: total mass = %g, want %g", scheme, d.Total(), 1-eps)
+		}
+		_, hi := d.Support()
+		wantB := e.Quantile(1 - eps)
+		if math.Abs(hi-wantB) > 1e-9 {
+			t.Errorf("%v: top point %g, want Q(1-ε) = %g", scheme, hi, wantB)
+		}
+	}
+}
+
+func TestDiscretizedMomentsConverge(t *testing.T) {
+	// The discrete median approaches the continuous median for every
+	// law; the discrete mean also converges except under heavy tails,
+	// where the scheme's deliberate upper-edge representation (each
+	// bucket is represented by its top quantile, so that reserving v_i
+	// covers the whole bucket) biases it upward.
+	heavyTail := map[string]bool{"Weibull(λ=1,κ=0.5)": true, "Pareto(ν=1.5,α=3)": true}
+	for _, d := range dist.Table1() {
+		for _, scheme := range []Scheme{EqualProbability, EqualTime} {
+			dd, err := Discretize(d, 4000, 1e-7, scheme)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", d.Name(), scheme, err)
+			}
+			gotMed, wantMed := dist.Median(dd), dist.Median(d)
+			// Equal-time resolution is one cell width.
+			_, top := dd.Support()
+			lo, _ := d.Support()
+			tolMed := math.Max(0.02*math.Max(1, wantMed), 1.5*(top-lo)/4000)
+			if math.Abs(gotMed-wantMed) > tolMed {
+				t.Errorf("%s/%v: discrete median %g vs %g", d.Name(), scheme, gotMed, wantMed)
+			}
+			if heavyTail[d.Name()] {
+				// Upper-edge bias: the discrete mean must bound the
+				// continuous mean from above, not match it.
+				if dd.Mean() < d.Mean()*0.98 {
+					t.Errorf("%s/%v: discrete mean %g below continuous %g", d.Name(), scheme, dd.Mean(), d.Mean())
+				}
+				continue
+			}
+			got, want := dd.Mean(), d.Mean()
+			if math.Abs(got-want) > 0.05*math.Max(1, want) {
+				t.Errorf("%s/%v: discrete mean %g vs %g", d.Name(), scheme, got, want)
+			}
+		}
+	}
+}
+
+func TestDiscretizeStrictlyIncreasing(t *testing.T) {
+	for _, d := range dist.Table1() {
+		for _, scheme := range []Scheme{EqualProbability, EqualTime} {
+			for _, n := range []int{1, 10, 100, 997} {
+				dd, err := Discretize(d, n, 0, scheme)
+				if err != nil {
+					t.Fatalf("%s/%v/n=%d: %v", d.Name(), scheme, n, err)
+				}
+				vals := dd.Values()
+				for i := 1; i < len(vals); i++ {
+					if vals[i] <= vals[i-1] {
+						t.Fatalf("%s/%v: values not increasing at %d", d.Name(), scheme, i)
+					}
+				}
+				for _, p := range dd.Probs() {
+					if p <= 0 {
+						t.Fatalf("%s/%v: nonpositive probability", d.Name(), scheme)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDiscretizeValidation(t *testing.T) {
+	u := dist.MustUniform(10, 20)
+	if _, err := Discretize(u, 0, 0, EqualTime); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Discretize(u, 10, 1.5, EqualTime); err == nil {
+		t.Error("eps >= 1 accepted")
+	}
+	if _, err := Discretize(u, 10, 0, Scheme(99)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if EqualProbability.String() != "Equal-probability" || EqualTime.String() != "Equal-time" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme has empty name")
+	}
+}

@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitResult is one candidate family's fit of a trace.
+type FitResult struct {
+	// Family is the family name ("lognormal", "gamma", ...).
+	Family string
+	// Dist is the fitted law.
+	Dist Distribution
+	// KS is the Kolmogorov–Smirnov statistic of the fit against the
+	// empirical CDF (smaller is better).
+	KS float64
+}
+
+// BestFit fits every parametric family the library can estimate
+// (LogNormal, Gamma, Weibull, Exponential) to a positive trace and
+// returns the candidates ordered best-first by KS statistic. Families
+// whose fit fails (degenerate moments) are skipped; at least one
+// candidate is guaranteed on success.
+//
+// This automates the paper's Fig.-1 workflow — the authors eyeballed
+// LogNormal; a tool has to choose.
+func BestFit(samples []float64) ([]FitResult, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("dist: BestFit needs at least 2 samples, got %d", len(samples))
+	}
+	var out []FitResult
+	add := func(family string, d Distribution, err error) {
+		if err != nil || d == nil {
+			return
+		}
+		ks := KSStatistic(samples, d)
+		if math.IsNaN(ks) {
+			return
+		}
+		out = append(out, FitResult{Family: family, Dist: d, KS: ks})
+	}
+	if d, err := FitLogNormal(samples); err == nil {
+		add("lognormal", d, nil)
+	}
+	if d, err := FitGamma(samples); err == nil {
+		add("gamma", d, nil)
+	}
+	if d, err := FitWeibull(samples); err == nil {
+		add("weibull", d, nil)
+	}
+	if d, err := FitExponential(samples); err == nil {
+		add("exponential", d, nil)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dist: BestFit could not fit any family (degenerate trace?)")
+	}
+	// Insertion sort by KS (tiny slice).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].KS < out[j-1].KS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBestFitIdentifiesTrueFamily(t *testing.T) {
+	cases := []struct {
+		truth  Distribution
+		family string
+	}{
+		{MustLogNormal(7.1128, 0.2039), "lognormal"},
+		{MustGamma(2, 2), "gamma"},
+		{MustWeibull(1, 0.5), "weibull"},
+	}
+	for _, c := range cases {
+		samples := SampleN(c.truth, rng.New(13), 30000)
+		fits, err := BestFit(samples)
+		if err != nil {
+			t.Fatalf("%s: %v", c.truth.Name(), err)
+		}
+		if len(fits) < 3 {
+			t.Fatalf("%s: only %d candidates", c.truth.Name(), len(fits))
+		}
+		if fits[0].Family != c.family {
+			t.Errorf("%s: best fit is %s (KS %.4f), want %s", c.truth.Name(), fits[0].Family, fits[0].KS, c.family)
+		}
+		// Sorted by KS.
+		for i := 1; i < len(fits); i++ {
+			if fits[i].KS < fits[i-1].KS {
+				t.Errorf("%s: candidates not sorted", c.truth.Name())
+			}
+		}
+		// The winning fit is a good fit in absolute terms.
+		if fits[0].KS > 0.02 {
+			t.Errorf("%s: best KS %.4f too large", c.truth.Name(), fits[0].KS)
+		}
+	}
+}
+
+func TestBestFitExponentialAmbiguity(t *testing.T) {
+	// Exponential data is also Weibull(κ=1) and Gamma(α=1): whichever
+	// family wins, its KS must be excellent.
+	samples := SampleN(MustExponential(1), rng.New(21), 30000)
+	fits, err := BestFit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits[0].KS > 0.01 {
+		t.Errorf("best KS %.4f on exponential data", fits[0].KS)
+	}
+}
+
+func TestBestFitValidation(t *testing.T) {
+	if _, err := BestFit([]float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	// A constant trace defeats every variance-based fit; only the
+	// exponential (mean-only) family survives, with a poor KS.
+	fits, err := BestFit([]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatalf("constant trace: %v", err)
+	}
+	if len(fits) != 1 || fits[0].Family != "exponential" {
+		t.Errorf("constant trace fits = %+v, want exponential only", fits)
+	}
+	if fits[0].KS < 0.3 {
+		t.Errorf("constant trace KS %.3f suspiciously good", fits[0].KS)
+	}
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	// ε(1000, 0.05) = sqrt(ln 40 / 2000) ≈ 0.0430.
+	if got := KSCriticalValue(1000, 0.05); math.Abs(got-0.042947) > 1e-4 {
+		t.Errorf("ε(1000, 0.05) = %g", got)
+	}
+	// Monotone: more samples → tighter bound.
+	if !(KSCriticalValue(10000, 0.05) < KSCriticalValue(100, 0.05)) {
+		t.Error("bound not shrinking with n")
+	}
+	for _, bad := range [][2]float64{{0, 0.05}, {100, 0}, {100, 1}} {
+		if !math.IsNaN(KSCriticalValue(int(bad[0]), bad[1])) {
+			t.Errorf("KSCriticalValue(%v) accepted", bad)
+		}
+	}
+	// The true law passes its own test at n=5000.
+	d := MustLogNormal(7.1128, 0.2039)
+	samples := SampleN(d, rng.New(77), 5000)
+	if ks := KSStatistic(samples, d); ks > KSCriticalValue(5000, 0.05) {
+		t.Errorf("true law rejected: KS %g > ε %g", ks, KSCriticalValue(5000, 0.05))
+	}
+}

@@ -1,0 +1,281 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mustDiscrete(t *testing.T, vals, probs []float64) *Discrete {
+	t.Helper()
+	d, err := NewDiscrete(vals, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiscreteBasics(t *testing.T) {
+	d := mustDiscrete(t, []float64{1, 2, 4}, []float64{0.5, 0.25, 0.25})
+	if got := d.Mean(); got != 1*0.5+2*0.25+4*0.25 {
+		t.Errorf("mean = %g", got)
+	}
+	wantVar := (1*1*0.5 + 4*0.25 + 16*0.25) - d.Mean()*d.Mean()
+	if got := d.Variance(); math.Abs(got-wantVar) > 1e-12 {
+		t.Errorf("variance = %g, want %g", got, wantVar)
+	}
+	if lo, hi := d.Support(); lo != 1 || hi != 4 {
+		t.Errorf("support = [%g, %g]", lo, hi)
+	}
+	if d.Len() != 3 || d.Total() != 1 {
+		t.Errorf("len=%d total=%g", d.Len(), d.Total())
+	}
+}
+
+func TestDiscreteCDFSurvival(t *testing.T) {
+	d := mustDiscrete(t, []float64{1, 2, 4}, []float64{0.5, 0.25, 0.25})
+	cases := []struct{ x, cdf, surv float64 }{
+		{0.5, 0, 1},
+		{1, 0.5, 1}, // CDF includes x=1; Survival is P(X >= 1) = 1
+		{1.5, 0.5, 0.5},
+		{2, 0.75, 0.5}, // P(X >= 2) = 0.5
+		{3, 0.75, 0.25},
+		{4, 1, 0.25}, // P(X >= 4) = 0.25
+		{5, 1, 0},
+	}
+	for _, c := range cases {
+		if got := d.CDF(c.x); math.Abs(got-c.cdf) > 1e-12 {
+			t.Errorf("CDF(%g) = %g, want %g", c.x, got, c.cdf)
+		}
+		if got := d.Survival(c.x); math.Abs(got-c.surv) > 1e-12 {
+			t.Errorf("Survival(%g) = %g, want %g", c.x, got, c.surv)
+		}
+	}
+}
+
+func TestDiscreteQuantile(t *testing.T) {
+	d := mustDiscrete(t, []float64{1, 2, 4}, []float64{0.5, 0.25, 0.25})
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.3, 1}, {0.5, 1}, {0.6, 2}, {0.75, 2}, {0.8, 4}, {1, 4},
+	}
+	for _, c := range cases {
+		if got := d.Quantile(c.p); got != c.want {
+			t.Errorf("Q(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDiscretePDFPointMass(t *testing.T) {
+	d := mustDiscrete(t, []float64{1, 2}, []float64{0.3, 0.7})
+	if got := d.PDF(2); got != 0.7 {
+		t.Errorf("PDF(2) = %g, want 0.7", got)
+	}
+	if got := d.PDF(1.5); got != 0 {
+		t.Errorf("PDF(1.5) = %g, want 0", got)
+	}
+}
+
+func TestDiscreteCondMean(t *testing.T) {
+	d := mustDiscrete(t, []float64{1, 2, 4}, []float64{0.5, 0.25, 0.25})
+	// E[X | X > 1] = (2·0.25 + 4·0.25)/0.5 = 3.
+	if got := d.CondMean(1); math.Abs(got-3) > 1e-12 {
+		t.Errorf("CondMean(1) = %g, want 3", got)
+	}
+	if got := d.CondMean(4); !math.IsNaN(got) {
+		t.Errorf("CondMean(4) = %g, want NaN", got)
+	}
+}
+
+func TestDiscreteSubUnitMass(t *testing.T) {
+	// Truncated discretization: total mass 0.9.
+	d := mustDiscrete(t, []float64{1, 3}, []float64{0.45, 0.45})
+	if got := d.Total(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("total = %g", got)
+	}
+	// Renormalized mean: (1+3)/2 = 2.
+	if got := d.Mean(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("renormalized mean = %g, want 2", got)
+	}
+	if got := d.Survival(0); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Survival(0) = %g, want 0.9", got)
+	}
+	// Quantile above total mass maps to the largest value.
+	if got := d.Quantile(0.99); got != 3 {
+		t.Errorf("Q(0.99) = %g, want 3", got)
+	}
+}
+
+func TestDiscreteValidation(t *testing.T) {
+	cases := []struct {
+		vals, probs []float64
+	}{
+		{nil, nil},
+		{[]float64{1}, []float64{0.5, 0.5}},
+		{[]float64{2, 1}, []float64{0.5, 0.5}},          // not increasing
+		{[]float64{1, 1}, []float64{0.5, 0.5}},          // duplicate
+		{[]float64{-1, 1}, []float64{0.5, 0.5}},         // negative value
+		{[]float64{1, 2}, []float64{0.5, -0.1}},         // negative prob
+		{[]float64{1, 2}, []float64{0.9, 0.9}},          // mass > 1
+		{[]float64{1, 2}, []float64{0, 0}},              // no mass
+		{[]float64{math.NaN(), 2}, []float64{0.5, 0.5}}, // NaN value
+	}
+	for i, c := range cases {
+		if _, err := NewDiscrete(c.vals, c.probs); err == nil {
+			t.Errorf("case %d: invalid discrete accepted", i)
+		}
+	}
+}
+
+func TestEmpiricalDistribution(t *testing.T) {
+	d, err := NewEmpirical([]float64{3, 1, 2, 1, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d, want 3", d.Len())
+	}
+	wantProbs := []float64{2.0 / 6, 1.0 / 6, 3.0 / 6}
+	for i, p := range d.Probs() {
+		if math.Abs(p-wantProbs[i]) > 1e-12 {
+			t.Errorf("prob[%d] = %g, want %g", i, p, wantProbs[i])
+		}
+	}
+	if got := d.Mean(); math.Abs(got-(3+1+2+1+3+3)/6.0) > 1e-12 {
+		t.Errorf("empirical mean = %g", got)
+	}
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Error("empty empirical accepted")
+	}
+}
+
+func TestEmpiricalOfSamplesApproximatesSource(t *testing.T) {
+	src := MustExponential(1)
+	r := rng.New(8)
+	d, err := NewEmpirical(SampleN(src, r, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-1) > 0.05 {
+		t.Errorf("empirical mean = %g, want ≈1", d.Mean())
+	}
+	if ks := KSStatistic(d.Values(), src); ks > 0.03 {
+		t.Errorf("KS statistic vs source = %g, want small", ks)
+	}
+}
+
+func TestDiscreteQuantileCDFGalois(t *testing.T) {
+	// Galois property: Q(p) <= x  <=>  p <= F(x), over random discrete laws.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		r := rng.New(seed)
+		vals := make([]float64, n)
+		probs := make([]float64, n)
+		cur := 0.0
+		var tot float64
+		for i := range vals {
+			cur += 0.1 + r.Float64()
+			vals[i] = cur
+			probs[i] = 0.05 + r.Float64()
+			tot += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= tot
+		}
+		d, err := NewDiscrete(vals, probs)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 20; k++ {
+			p := r.Float64()
+			q := d.Quantile(p)
+			if d.CDF(q) < p-1e-9 {
+				return false
+			}
+			// Any value strictly below q has CDF < p.
+			if q > vals[0] && d.CDF(q-1e-9) >= p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitLogNormalRecoversParameters(t *testing.T) {
+	want := MustLogNormal(7.1128, 0.2039) // the paper's VBMQA fit
+	r := rng.New(123)
+	samples := SampleN(want, r, 50000)
+	got, err := FitLogNormal(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu()-want.Mu()) > 0.01 {
+		t.Errorf("fitted μ = %g, want %g", got.Mu(), want.Mu())
+	}
+	if math.Abs(got.Sigma()-want.Sigma()) > 0.01 {
+		t.Errorf("fitted σ = %g, want %g", got.Sigma(), want.Sigma())
+	}
+}
+
+func TestFitLogNormalRejects(t *testing.T) {
+	if _, err := FitLogNormal([]float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := FitLogNormal([]float64{1, -2}); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, err := FitLogNormal([]float64{2, 2, 2}); err == nil {
+		t.Error("degenerate samples accepted")
+	}
+}
+
+func TestLogNormalFromMoments(t *testing.T) {
+	// Round trip: build from target moments, read back Mean/StdDev.
+	d, err := LogNormalFromMoments(1253.37, 258.261) // paper §5.3 values
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-1253.37) > 1e-6 {
+		t.Errorf("mean = %g, want 1253.37", d.Mean())
+	}
+	if math.Abs(StdDev(d)-258.261) > 1e-6 {
+		t.Errorf("sd = %g, want 258.261", StdDev(d))
+	}
+	if _, err := LogNormalFromMoments(-1, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	mean, sd := SampleMoments([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %g, want 5", mean)
+	}
+	if math.Abs(sd-2) > 1e-12 {
+		t.Errorf("sd = %g, want 2", sd)
+	}
+	if m, s := SampleMoments(nil); !math.IsNaN(m) || !math.IsNaN(s) {
+		t.Errorf("empty moments = %g, %g, want NaN", m, s)
+	}
+}
+
+func TestKSStatisticPerfectFit(t *testing.T) {
+	// KS of a distribution against its own large quantile grid is tiny.
+	d := MustUniform(0, 1)
+	n := 10000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = (float64(i) + 0.5) / float64(n)
+	}
+	if ks := KSStatistic(samples, d); ks > 0.001 {
+		t.Errorf("KS on quantile grid = %g, want ≈0", ks)
+	}
+	// And a deliberately wrong law scores badly.
+	if ks := KSStatistic(samples, MustUniform(0, 2)); ks < 0.4 {
+		t.Errorf("KS against wrong law = %g, want large", ks)
+	}
+}

@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FitLogNormal fits a LogNormal law to positive samples by maximum
+// likelihood in log space: μ̂ is the mean and σ̂ the (population)
+// standard deviation of the log samples. This is the fitting procedure
+// the paper applies to the neuroscience execution traces (Fig. 1).
+func FitLogNormal(samples []float64) (LogNormal, error) {
+	if len(samples) < 2 {
+		return LogNormal{}, fmt.Errorf("dist: FitLogNormal needs at least 2 samples, got %d", len(samples))
+	}
+	var sum float64
+	for i, s := range samples {
+		if !(s > 0) {
+			return LogNormal{}, fmt.Errorf("dist: FitLogNormal sample %d must be positive, got %g", i, s)
+		}
+		sum += math.Log(s)
+	}
+	mu := sum / float64(len(samples))
+	var ss float64
+	for _, s := range samples {
+		d := math.Log(s) - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(samples)))
+	if !(sigma > 0) {
+		return LogNormal{}, fmt.Errorf("dist: FitLogNormal samples are degenerate (zero log variance)")
+	}
+	return NewLogNormal(mu, sigma)
+}
+
+// SampleMoments returns the sample mean and (population) standard
+// deviation of a trace.
+func SampleMoments(samples []float64) (mean, sd float64) {
+	n := float64(len(samples))
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= n
+	for _, s := range samples {
+		d := s - mean
+		sd += d * d
+	}
+	return mean, math.Sqrt(sd / n)
+}
+
+// KSStatistic returns the Kolmogorov–Smirnov statistic
+// sup_t |F_emp(t) - F(t)| between the empirical CDF of the samples and
+// the distribution's CDF. It is used to assess the quality of trace
+// fits (Fig. 1 substitution).
+func KSStatistic(samples []float64, d Distribution) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	maxD := 0.0
+	for i, x := range s {
+		f := d.CDF(x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if v := math.Abs(f - lo); v > maxD {
+			maxD = v
+		}
+		if v := math.Abs(f - hi); v > maxD {
+			maxD = v
+		}
+	}
+	return maxD
+}
+
+// KSCriticalValue returns the Dvoretzky–Kiefer–Wolfowitz bound
+// ε(n, α) = sqrt(ln(2/α) / (2n)): with probability at least 1-α the KS
+// statistic of n samples against their true law stays below it, so a
+// fit whose KS exceeds this value is rejected at level α.
+func KSCriticalValue(n int, alpha float64) float64 {
+	if n < 1 || !(alpha > 0) || alpha >= 1 {
+		return math.NaN()
+	}
+	return math.Sqrt(math.Log(2/alpha) / (2 * float64(n)))
+}

@@ -1,0 +1,89 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/optimize"
+)
+
+// FitExponential fits an Exponential law by maximum likelihood:
+// λ̂ = 1/mean.
+func FitExponential(samples []float64) (Exponential, error) {
+	mean, _, err := positiveMoments(samples)
+	if err != nil {
+		return Exponential{}, fmt.Errorf("dist: FitExponential: %w", err)
+	}
+	return NewExponential(1 / mean)
+}
+
+// FitGamma fits a Gamma law by the method of moments:
+// α̂ = mean²/var, β̂ = mean/var.
+func FitGamma(samples []float64) (Gamma, error) {
+	mean, sd, err := positiveMoments(samples)
+	if err != nil {
+		return Gamma{}, fmt.Errorf("dist: FitGamma: %w", err)
+	}
+	if !(sd > 0) {
+		return Gamma{}, fmt.Errorf("dist: FitGamma: degenerate samples (zero variance)")
+	}
+	v := sd * sd
+	return NewGamma(mean*mean/v, mean/v)
+}
+
+// FitWeibull fits a Weibull law by the method of moments: the shape κ̂
+// solves Γ(1+2/κ)/Γ(1+1/κ)² = 1 + cv² (cv the coefficient of
+// variation), found with Brent's method; then λ̂ = mean/Γ(1+1/κ̂).
+func FitWeibull(samples []float64) (Weibull, error) {
+	mean, sd, err := positiveMoments(samples)
+	if err != nil {
+		return Weibull{}, fmt.Errorf("dist: FitWeibull: %w", err)
+	}
+	if !(sd > 0) {
+		return Weibull{}, fmt.Errorf("dist: FitWeibull: degenerate samples (zero variance)")
+	}
+	cv2 := (sd / mean) * (sd / mean)
+	// g(κ) = Γ(1+2/κ)/Γ(1+1/κ)² − (1+cv²): strictly decreasing in κ,
+	// +∞ at 0⁺ and → 0⁻ as κ → ∞ (the ratio tends to 1 < 1+cv²).
+	g := func(kappa float64) float64 {
+		l2, _ := math.Lgamma(1 + 2/kappa)
+		l1, _ := math.Lgamma(1 + 1/kappa)
+		return math.Exp(l2-2*l1) - (1 + cv2)
+	}
+	// Bracket: expand upward from a small shape until g < 0.
+	lo, hi := 0.05, 1.0
+	for g(hi) > 0 && hi < 1e6 {
+		lo = hi
+		hi *= 2
+	}
+	if g(hi) > 0 {
+		return Weibull{}, fmt.Errorf("dist: FitWeibull: cannot bracket shape for cv² = %g", cv2)
+	}
+	if g(lo) < 0 {
+		// Extremely heavy tail: shrink the lower bracket.
+		for g(lo) < 0 && lo > 1e-6 {
+			lo /= 2
+		}
+	}
+	kappa, err := optimize.Brent(g, lo, hi, 1e-12)
+	if err != nil {
+		return Weibull{}, fmt.Errorf("dist: FitWeibull: %w", err)
+	}
+	scale := mean / math.Gamma(1+1/kappa)
+	return NewWeibull(scale, kappa)
+}
+
+// positiveMoments validates a positive sample set and returns its mean
+// and (population) standard deviation.
+func positiveMoments(samples []float64) (mean, sd float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, fmt.Errorf("need at least 2 samples, got %d", len(samples))
+	}
+	for i, s := range samples {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return 0, 0, fmt.Errorf("sample %d must be positive and finite, got %g", i, s)
+		}
+	}
+	mean, sd = SampleMoments(samples)
+	return mean, sd, nil
+}

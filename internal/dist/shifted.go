@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shifted is the distribution of X + c for a base law X and a
+// nonnegative offset c. It models jobs with a deterministic minimum
+// service time (startup, data staging) on top of a stochastic
+// computation, keeping the support nonnegative as the framework
+// requires.
+type Shifted struct {
+	base   Distribution
+	offset float64
+}
+
+// NewShifted returns the law of X + offset, for offset >= 0 (negative
+// offsets could push the support below 0, which execution times forbid).
+func NewShifted(base Distribution, offset float64) (Shifted, error) {
+	if base == nil {
+		return Shifted{}, fmt.Errorf("dist: Shifted needs a base distribution")
+	}
+	if !(offset >= 0) || math.IsInf(offset, 0) {
+		return Shifted{}, fmt.Errorf("dist: shift offset must be nonnegative and finite, got %g", offset)
+	}
+	if s, ok := base.(Shifted); ok {
+		return Shifted{base: s.base, offset: s.offset + offset}, nil
+	}
+	return Shifted{base: base, offset: offset}, nil
+}
+
+// MustShifted is NewShifted that panics on invalid parameters.
+func MustShifted(base Distribution, offset float64) Shifted {
+	s, err := NewShifted(base, offset)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements Distribution.
+func (s Shifted) Name() string {
+	return fmt.Sprintf("%s+%g", s.base.Name(), s.offset)
+}
+
+// PDF implements Distribution.
+func (s Shifted) PDF(t float64) float64 { return s.base.PDF(t - s.offset) }
+
+// CDF implements Distribution.
+func (s Shifted) CDF(t float64) float64 { return s.base.CDF(t - s.offset) }
+
+// Survival implements Distribution.
+func (s Shifted) Survival(t float64) float64 { return s.base.Survival(t - s.offset) }
+
+// Quantile implements Distribution.
+func (s Shifted) Quantile(p float64) float64 { return s.base.Quantile(p) + s.offset }
+
+// Mean implements Distribution.
+func (s Shifted) Mean() float64 { return s.base.Mean() + s.offset }
+
+// Variance implements Distribution.
+func (s Shifted) Variance() float64 { return s.base.Variance() }
+
+// Support implements Distribution.
+func (s Shifted) Support() (float64, float64) {
+	lo, hi := s.base.Support()
+	return lo + s.offset, hi + s.offset
+}
+
+// CondMean implements CondMeaner: E[X+c | X+c > τ] = c + E[X | X > τ-c].
+func (s Shifted) CondMean(tau float64) float64 {
+	if cm, ok := s.base.(CondMeaner); ok {
+		return s.offset + cm.CondMean(tau-s.offset)
+	}
+	return math.NaN() // generic quadrature fallback applies
+}

@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShiftedBasics(t *testing.T) {
+	s := MustShifted(MustExponential(2), 3)
+	if s.Mean() != 3+0.5 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if s.Variance() != 0.25 {
+		t.Errorf("variance = %g", s.Variance())
+	}
+	lo, hi := s.Support()
+	if lo != 3 || !math.IsInf(hi, 1) {
+		t.Errorf("support [%g, %g]", lo, hi)
+	}
+	// CDF/Survival/Quantile shift consistently.
+	if got := s.CDF(3); got != 0 {
+		t.Errorf("CDF(3) = %g", got)
+	}
+	if got, want := s.CDF(4), MustExponential(2).CDF(1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("CDF(4) = %g, want %g", got, want)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if got := s.CDF(s.Quantile(p)); math.Abs(got-p) > 1e-12 {
+			t.Errorf("round trip at %g: %g", p, got)
+		}
+	}
+}
+
+func TestShiftedMomentsMatchQuadrature(t *testing.T) {
+	s := MustShifted(MustGamma(2, 2), 1.5)
+	if got, want := s.Mean(), MeanNumeric(s); math.Abs(got-want) > 1e-5 {
+		t.Errorf("mean %g vs quadrature %g", got, want)
+	}
+	if got, want := s.Variance(), VarianceNumeric(s); math.Abs(got-want) > 1e-4 {
+		t.Errorf("variance %g vs quadrature %g", got, want)
+	}
+}
+
+func TestShiftedCondMean(t *testing.T) {
+	s := MustShifted(MustExponential(1), 2)
+	// E[X+2 | X+2 > 5] = 2 + E[X | X > 3] = 2 + 4 = 6.
+	if got := CondMean(s, 5); math.Abs(got-6) > 1e-12 {
+		t.Errorf("CondMean(5) = %g, want 6", got)
+	}
+	// Below the support the conditional mean is the mean.
+	if got := CondMean(s, 0); math.Abs(got-3) > 1e-12 {
+		t.Errorf("CondMean(0) = %g, want 3", got)
+	}
+	// Closed form agrees with quadrature.
+	if got, want := s.CondMean(5), CondMeanNumeric(s, 5); math.Abs(got-want) > 1e-5 {
+		t.Errorf("closed %g vs numeric %g", got, want)
+	}
+}
+
+func TestShiftedCollapsesAndValidates(t *testing.T) {
+	inner := MustShifted(MustUniform(1, 2), 1)
+	outer := MustShifted(inner, 2)
+	if outer.offset != 3 {
+		t.Errorf("nesting not collapsed: %+v", outer)
+	}
+	if _, err := NewShifted(nil, 1); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewShifted(MustExponential(1), -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := NewShifted(MustExponential(1), math.Inf(1)); err == nil {
+		t.Error("infinite offset accepted")
+	}
+}
+
+func TestShiftedWorksWithReservationMachinery(t *testing.T) {
+	// A shifted law sails through discretization-style consumers: the
+	// quantile grid respects the offset.
+	s := MustShifted(MustWeibull(1, 1.5), 0.5)
+	for _, p := range []float64{0.01, 0.25, 0.75, 0.99} {
+		q := s.Quantile(p)
+		if q < 0.5 {
+			t.Errorf("quantile %g below offset", q)
+		}
+	}
+	if ks := KSStatistic([]float64{0.6, 0.9, 1.5, 2.2}, s); math.IsNaN(ks) {
+		t.Error("KS NaN")
+	}
+}

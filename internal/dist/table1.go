@@ -1,0 +1,30 @@
+package dist
+
+// Table1 returns the nine distributions instantiated exactly as in
+// Table 1 of the paper, in the paper's order: six laws with infinite
+// support followed by three with finite support. These are the
+// workloads of every ReservationOnly experiment (Tables 2–4, Fig. 3).
+func Table1() []Distribution {
+	return []Distribution{
+		MustExponential(1.0),
+		MustWeibull(1.0, 0.5),
+		MustGamma(2.0, 2.0),
+		MustLogNormal(3.0, 0.5),
+		MustTruncatedNormal(8.0, sqrt2, 0.0), // σ² = 2.0 in Table 1
+		MustPareto(1.5, 3.0),
+		MustUniform(10.0, 20.0),
+		MustBeta(2.0, 2.0),
+		MustBoundedPareto(1.0, 20.0, 2.1),
+	}
+}
+
+// sqrt2 is √2; Table 1 parameterizes the truncated normal by σ² = 2.
+const sqrt2 = 1.4142135623730951
+
+// Table1Names returns the paper's row labels in Table-1 order.
+func Table1Names() []string {
+	return []string{
+		"Exponential", "Weibull", "Gamma", "Lognormal", "TruncatedNormal",
+		"Pareto", "Uniform", "Beta", "BoundedPareto",
+	}
+}

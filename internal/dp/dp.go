@@ -1,0 +1,258 @@
+// Package dp implements the optimal dynamic programming algorithm for
+// discrete execution-time distributions (Theorem 5 of the paper). For
+// X ~ (v_i, f_i)_{i=1..n} it computes, in O(n²), the reservation
+// sequence minimizing the expected cost
+//
+//	E*_i = min_{i<=j<=n} ( α·v_j + γ + Σ_{k=i..j} f'_k·β·v_k
+//	                       + (Σ_{k>j} f'_k)·(β·v_j + E*_{j+1}) )
+//
+// where f' is the law conditioned on X >= v_i. The optimal sequence is
+// recovered by backtracking the minimizing j at each step; it always
+// ends at v_n.
+package dp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Result is the output of Solve.
+type Result struct {
+	// Sequence is the optimal reservation sequence (a strictly
+	// increasing subset of the support ending at v_n).
+	Sequence []float64
+	// ExpectedCost is the optimal expected cost E*_1 under the
+	// (normalized) discrete law.
+	ExpectedCost float64
+	// Choices[i] is the index j chosen when the conditional law starts
+	// at index i (diagnostic; -1 where unreachable).
+	Choices []int
+}
+
+// Solve computes the optimal reservation sequence for a discrete
+// distribution under the given cost model. Probabilities are
+// renormalized to total mass 1 first (relevant for truncated
+// discretizations whose mass is 1-ε).
+func Solve(d *dist.Discrete, m core.CostModel) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	if d == nil || d.Len() == 0 {
+		return Result{}, errors.New("dp: empty distribution")
+	}
+	n := d.Len()
+	vals := d.Values()
+	raw := d.Probs()
+	total := d.Total()
+
+	probs := make([]float64, n)
+	for i := range raw {
+		probs[i] = raw[i] / total
+	}
+
+	// Suffix sums: S[i] = Σ_{k>=i} f_k, W[i] = Σ_{k>=i} f_k v_k
+	// (0-based; S[n] = W[n] = 0).
+	S := make([]float64, n+1)
+	W := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		S[i] = S[i+1] + probs[i]
+		W[i] = W[i+1] + probs[i]*vals[i]
+	}
+
+	E := make([]float64, n+1) // E[i] = E*_i; E[n] = 0
+	choice := make([]int, n+1)
+	for i := range choice {
+		choice[i] = -1
+	}
+
+	for i := n - 1; i >= 0; i-- {
+		if S[i] <= 0 {
+			// No mass at or above v_i: never reached; cost 0.
+			E[i] = 0
+			continue
+		}
+		best := math.Inf(1)
+		bestJ := -1
+		for j := i; j < n; j++ {
+			// Conditional expectation of β·min(X, v_j) given X >= v_i:
+			// Σ_{k=i..j} f_k v_k = W[i]-W[j+1]; tail uses v_j.
+			cost := m.Alpha*vals[j] + m.Gamma +
+				(m.Beta*(W[i]-W[j+1])+S[j+1]*(m.Beta*vals[j]+E[j+1]))/S[i]
+			if cost < best {
+				best = cost
+				bestJ = j
+			}
+		}
+		E[i] = best
+		choice[i] = bestJ
+	}
+
+	// Backtrack the sequence of chosen reservations.
+	var seq []float64
+	for i := 0; i < n; {
+		j := choice[i]
+		if j < 0 {
+			break
+		}
+		seq = append(seq, vals[j])
+		i = j + 1
+	}
+	return Result{Sequence: seq, ExpectedCost: E[0], Choices: choice}, nil
+}
+
+// SolveBruteForce computes the optimal expected cost by enumerating
+// every increasing reservation subset that ends at v_n. It is
+// exponential (O(2^{n-1})) and exists as the test oracle for Solve;
+// n is capped at 20.
+func SolveBruteForce(d *dist.Discrete, m core.CostModel) (Result, error) {
+	n := d.Len()
+	if n > 20 {
+		return Result{}, errors.New("dp: brute-force oracle capped at n=20")
+	}
+	if n == 0 {
+		return Result{}, errors.New("dp: empty distribution")
+	}
+	vals := d.Values()
+	raw := d.Probs()
+	total := d.Total()
+	probs := make([]float64, n)
+	for i := range raw {
+		probs[i] = raw[i] / total
+	}
+
+	best := Result{ExpectedCost: math.Inf(1)}
+	// Every subset of {0..n-2} union {n-1}.
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		var seq []float64
+		for b := 0; b < n-1; b++ {
+			if mask&(1<<b) != 0 {
+				seq = append(seq, vals[b])
+			}
+		}
+		seq = append(seq, vals[n-1])
+		cost := expectedCostDiscrete(m, vals, probs, seq)
+		if cost < best.ExpectedCost {
+			best = Result{Sequence: append([]float64(nil), seq...), ExpectedCost: cost}
+		}
+	}
+	return best, nil
+}
+
+// expectedCostDiscrete evaluates Eq. (2)/(3) exactly for a discrete law
+// and an explicit covering sequence.
+func expectedCostDiscrete(m core.CostModel, vals, probs, seq []float64) float64 {
+	var e float64
+	for i, v := range vals {
+		// Cost of running a job of duration v under seq.
+		var c float64
+		for _, t := range seq {
+			if v <= t {
+				c += m.AttemptCost(t, v)
+				break
+			}
+			c += m.AttemptCost(t, t)
+		}
+		e += probs[i] * c
+	}
+	return e
+}
+
+// SolveMaxAttempts computes the optimal reservation sequence when the
+// platform allows at most maxAttempts resubmissions per job — a
+// constraint real schedulers impose. The DP gains a remaining-budget
+// dimension: E*_{i,k} is the optimal cost given X >= v_i with k
+// attempts left, and any state with fewer attempts than needed to reach
+// v_n is infeasible. Complexity O(maxAttempts · n²).
+//
+// With maxAttempts >= n the result coincides with Solve; with
+// maxAttempts = 1 the only feasible plan is the single reservation v_n.
+func SolveMaxAttempts(d *dist.Discrete, m core.CostModel, maxAttempts int) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	if d == nil || d.Len() == 0 {
+		return Result{}, errors.New("dp: empty distribution")
+	}
+	if maxAttempts < 1 {
+		return Result{}, errors.New("dp: need at least one attempt")
+	}
+	n := d.Len()
+	if maxAttempts > n {
+		maxAttempts = n // more budget than support points is never used
+	}
+	vals := d.Values()
+	raw := d.Probs()
+	total := d.Total()
+	probs := make([]float64, n)
+	for i := range raw {
+		probs[i] = raw[i] / total
+	}
+	S := make([]float64, n+1)
+	W := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		S[i] = S[i+1] + probs[i]
+		W[i] = W[i+1] + probs[i]*vals[i]
+	}
+
+	// E[k][i], choice[k][i]: k attempts remaining, conditional start i.
+	// k=0 row: infeasible unless no mass remains.
+	inf := math.Inf(1)
+	E := make([][]float64, maxAttempts+1)
+	choice := make([][]int, maxAttempts+1)
+	for k := range E {
+		E[k] = make([]float64, n+1)
+		choice[k] = make([]int, n+1)
+		for i := range E[k] {
+			choice[k][i] = -1
+			if k == 0 && i < n && S[i] > 0 {
+				E[k][i] = inf
+			}
+		}
+	}
+	for k := 1; k <= maxAttempts; k++ {
+		for i := n - 1; i >= 0; i-- {
+			if S[i] <= 0 {
+				continue
+			}
+			best := inf
+			bestJ := -1
+			// With k attempts left, the last k-1 must be able to cover
+			// the rest, so j can stop at most k-1 points short of n-1.
+			for j := i; j < n; j++ {
+				cont := 0.0
+				if j+1 <= n && S[j+1] > 0 {
+					cont = E[k-1][j+1]
+					if math.IsInf(cont, 1) {
+						continue // infeasible continuation
+					}
+				}
+				cost := m.Alpha*vals[j] + m.Gamma +
+					(m.Beta*(W[i]-W[j+1])+S[j+1]*(m.Beta*vals[j]+cont))/S[i]
+				if cost < best {
+					best = cost
+					bestJ = j
+				}
+			}
+			E[k][i] = best
+			choice[k][i] = bestJ
+		}
+	}
+	if math.IsInf(E[maxAttempts][0], 1) {
+		return Result{}, errors.New("dp: attempt budget cannot cover the support")
+	}
+	var seq []float64
+	k := maxAttempts
+	for i := 0; i < n && k > 0; {
+		j := choice[k][i]
+		if j < 0 {
+			break
+		}
+		seq = append(seq, vals[j])
+		i = j + 1
+		k--
+	}
+	return Result{Sequence: seq, ExpectedCost: E[maxAttempts][0]}, nil
+}

@@ -1,0 +1,326 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func disc(t *testing.T, vals, probs []float64) *dist.Discrete {
+	t.Helper()
+	d, err := dist.NewDiscrete(vals, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSolveSinglePoint(t *testing.T) {
+	d := disc(t, []float64{5}, []float64{1})
+	m := core.CostModel{Alpha: 2, Beta: 1, Gamma: 3}
+	r, err := Solve(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sequence) != 1 || r.Sequence[0] != 5 {
+		t.Fatalf("sequence = %v, want [5]", r.Sequence)
+	}
+	// Initialization of Theorem 5: E*_n = α v_n + β v_n + γ.
+	if want := 2*5 + 1*5 + 3.0; math.Abs(r.ExpectedCost-want) > 1e-12 {
+		t.Errorf("cost = %g, want %g", r.ExpectedCost, want)
+	}
+}
+
+func TestSolveTwoPointHandComputed(t *testing.T) {
+	// X = 1 w.p. 0.9, X = 10 w.p. 0.1, RESERVATIONONLY.
+	// Option (10): cost 10. Option (1, 10): 1 + 0.1·10 = 2. DP picks (1, 10).
+	d := disc(t, []float64{1, 10}, []float64{0.9, 0.1})
+	r, err := Solve(d, core.ReservationOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sequence) != 2 || r.Sequence[0] != 1 || r.Sequence[1] != 10 {
+		t.Fatalf("sequence = %v, want [1 10]", r.Sequence)
+	}
+	if math.Abs(r.ExpectedCost-2) > 1e-12 {
+		t.Errorf("cost = %g, want 2", r.ExpectedCost)
+	}
+
+	// With mass flipped, one big reservation wins:
+	// (10): 10; (1, 10): 1 + 0.9·10 = 10 → tie broken to (10)? Compare:
+	// X = 1 w.p. 0.1: (1,10) = 1 + 0.9·10 = 10; equal — use a sharper
+	// split: X=9 w.p. 0.1 first: (9,10): 9+0.9·10 = 18 > 10.
+	d = disc(t, []float64{9, 10}, []float64{0.1, 0.9})
+	r, err = Solve(d, core.ReservationOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sequence) != 1 || r.Sequence[0] != 10 {
+		t.Fatalf("sequence = %v, want [10]", r.Sequence)
+	}
+	if math.Abs(r.ExpectedCost-10) > 1e-12 {
+		t.Errorf("cost = %g, want 10", r.ExpectedCost)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	// Randomized cross-check against the exponential oracle.
+	f := func(seed uint64, nRaw uint8, withBeta bool) bool {
+		n := int(nRaw%9) + 2
+		r := rng.New(seed)
+		vals := make([]float64, n)
+		probs := make([]float64, n)
+		cur := 0.0
+		tot := 0.0
+		for i := range vals {
+			cur += 0.2 + 3*r.Float64()
+			vals[i] = cur
+			probs[i] = 0.05 + r.Float64()
+			tot += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= tot
+		}
+		d, err := dist.NewDiscrete(vals, probs)
+		if err != nil {
+			return false
+		}
+		m := core.ReservationOnly
+		if withBeta {
+			m = core.CostModel{Alpha: 0.5 + r.Float64(), Beta: r.Float64(), Gamma: r.Float64()}
+		}
+		got, err1 := Solve(d, m)
+		want, err2 := SolveBruteForce(d, m)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.Abs(got.ExpectedCost-want.ExpectedCost) > 1e-9*(1+want.ExpectedCost) {
+			return false
+		}
+		// The DP's own sequence must achieve its claimed cost.
+		probsN := d.Probs()
+		achieved := expectedCostDiscrete(m, d.Values(), probsN, got.Sequence)
+		return math.Abs(achieved-got.ExpectedCost) < 1e-9*(1+got.ExpectedCost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSequenceIncreasingEndsAtMax(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		r := rng.New(seed)
+		vals := make([]float64, n)
+		probs := make([]float64, n)
+		cur := 0.0
+		tot := 0.0
+		for i := range vals {
+			cur += 0.1 + r.Float64()
+			vals[i] = cur
+			probs[i] = 0.01 + r.Float64()
+			tot += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= tot
+		}
+		d, err := dist.NewDiscrete(vals, probs)
+		if err != nil {
+			return false
+		}
+		res, err := Solve(d, core.CostModel{Alpha: 1, Beta: 0.3, Gamma: 0.2})
+		if err != nil {
+			return false
+		}
+		if len(res.Sequence) == 0 || res.Sequence[len(res.Sequence)-1] != vals[n-1] {
+			return false
+		}
+		for i := 1; i < len(res.Sequence); i++ {
+			if res.Sequence[i] <= res.Sequence[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveAgainstExpectedCostEq4: the DP's claimed optimum must equal
+// core.ExpectedCost of the DP's sequence over the same discrete law.
+func TestSolveAgainstExpectedCostEq4(t *testing.T) {
+	d := disc(t, []float64{1, 2, 3, 5, 8}, []float64{0.3, 0.25, 0.2, 0.15, 0.1})
+	for _, m := range []core.CostModel{core.ReservationOnly, {Alpha: 1, Beta: 0.7, Gamma: 0.4}, {Alpha: 2, Gamma: 1}} {
+		r, err := Solve(d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewExplicitSequence(r.Sequence...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.ExpectedCost(m, d, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.ExpectedCost-want) > 1e-9*(1+want) {
+			t.Errorf("%v: DP cost %g, Eq.(4) cost %g", m, r.ExpectedCost, want)
+		}
+	}
+}
+
+// TestTheorem4ViaDP: discretizing Uniform(a,b) with EQUAL-TIME and
+// solving optimally must return the single reservation (b) whatever the
+// cost model (Theorem 4).
+func TestTheorem4ViaDP(t *testing.T) {
+	u := dist.MustUniform(10, 20)
+	for _, m := range []core.CostModel{core.ReservationOnly, {Alpha: 1, Beta: 1}, {Alpha: 0.95, Beta: 1, Gamma: 1.05}} {
+		dd, err := discretize.Discretize(u, 100, 0, discretize.EqualTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Solve(dd, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Sequence) != 1 || r.Sequence[0] != 20 {
+			t.Errorf("%v: DP sequence %v, want [20]", m, r.Sequence)
+		}
+	}
+}
+
+// TestDPOptimalBeatsHeuristicSequences: no explicit sequence over the
+// same support can beat the DP optimum.
+func TestDPOptimalBeatsHeuristicSequences(t *testing.T) {
+	d := disc(t, []float64{1, 2, 4, 8, 16}, []float64{0.4, 0.3, 0.15, 0.1, 0.05})
+	m := core.CostModel{Alpha: 1, Beta: 0.5, Gamma: 1}
+	opt, err := Solve(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := [][]float64{
+		{16}, {1, 16}, {2, 16}, {4, 16}, {1, 2, 16}, {2, 4, 8, 16}, {1, 2, 4, 8, 16},
+	}
+	for _, c := range candidates {
+		cost := expectedCostDiscrete(m, d.Values(), d.Probs(), c)
+		if cost < opt.ExpectedCost-1e-9 {
+			t.Errorf("candidate %v cost %g beats DP optimum %g", c, cost, opt.ExpectedCost)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, core.ReservationOnly); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	d := disc(t, []float64{1}, []float64{1})
+	if _, err := Solve(d, core.CostModel{}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+	big := make([]float64, 25)
+	probs := make([]float64, 25)
+	for i := range big {
+		big[i] = float64(i + 1)
+		probs[i] = 1.0 / 25
+	}
+	bd := disc(t, big, probs)
+	if _, err := SolveBruteForce(bd, core.ReservationOnly); err == nil {
+		t.Error("oracle accepted n > 20")
+	}
+}
+
+// TestSubUnitMassNormalization: a truncated discretization (mass 1-ε)
+// must give the same DP solution as its renormalized version.
+func TestSubUnitMassNormalization(t *testing.T) {
+	vals := []float64{1, 3, 7}
+	full := disc(t, vals, []float64{0.5, 0.3, 0.2})
+	truncated := disc(t, vals, []float64{0.45, 0.27, 0.18}) // mass 0.9
+	m := core.CostModel{Alpha: 1, Beta: 0.4, Gamma: 0.1}
+	a, err1 := Solve(full, m)
+	b, err2 := Solve(truncated, m)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Abs(a.ExpectedCost-b.ExpectedCost) > 1e-12 {
+		t.Errorf("costs differ: %g vs %g", a.ExpectedCost, b.ExpectedCost)
+	}
+	if len(a.Sequence) != len(b.Sequence) {
+		t.Fatalf("sequences differ: %v vs %v", a.Sequence, b.Sequence)
+	}
+}
+
+func TestSolveMaxAttempts(t *testing.T) {
+	d := disc(t, []float64{1, 2, 4, 8, 16}, []float64{0.4, 0.3, 0.15, 0.1, 0.05})
+	m := core.CostModel{Alpha: 1, Beta: 0.3, Gamma: 0.5}
+	unlimited, err := Solve(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget >= n matches the unconstrained optimum.
+	full, err := SolveMaxAttempts(d, m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.ExpectedCost-unlimited.ExpectedCost) > 1e-12 {
+		t.Errorf("K=10 cost %g vs unconstrained %g", full.ExpectedCost, unlimited.ExpectedCost)
+	}
+	// K=1 forces the single all-covering reservation.
+	one, err := SolveMaxAttempts(d, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Sequence) != 1 || one.Sequence[0] != 16 {
+		t.Errorf("K=1 sequence %v", one.Sequence)
+	}
+	// Cost is monotone nonincreasing in the budget, and every plan
+	// respects its budget and covers the support.
+	prev := math.Inf(1)
+	for k := 1; k <= 5; k++ {
+		r, err := SolveMaxAttempts(d, m, k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if r.ExpectedCost > prev+1e-12 {
+			t.Errorf("cost rose with budget at K=%d: %g after %g", k, r.ExpectedCost, prev)
+		}
+		prev = r.ExpectedCost
+		if len(r.Sequence) > k {
+			t.Errorf("K=%d plan uses %d attempts", k, len(r.Sequence))
+		}
+		if r.Sequence[len(r.Sequence)-1] != 16 {
+			t.Errorf("K=%d plan does not cover the support: %v", k, r.Sequence)
+		}
+	}
+	// The constrained optimum at each K beats any exhaustive plan of
+	// the same length (spot check K=2 against all 2-step plans).
+	two, err := SolveMaxAttempts(d, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := d.Values()
+	for _, first := range vals[:4] {
+		cost := expectedCostDiscrete(m, vals, d.Probs(), []float64{first, 16})
+		if cost < two.ExpectedCost-1e-9 {
+			t.Errorf("2-step plan (%g, 16) cost %g beats K=2 optimum %g", first, cost, two.ExpectedCost)
+		}
+	}
+}
+
+func TestSolveMaxAttemptsValidation(t *testing.T) {
+	d := disc(t, []float64{1, 2}, []float64{0.5, 0.5})
+	if _, err := SolveMaxAttempts(nil, core.ReservationOnly, 2); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := SolveMaxAttempts(d, core.CostModel{}, 2); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := SolveMaxAttempts(d, core.ReservationOnly, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

@@ -1,0 +1,20 @@
+package dp_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dp"
+)
+
+// ExampleSolve computes the optimal reservation sequence for a discrete
+// law (Theorem 5): with 90% of jobs lasting 1 and 10% lasting 10, it is
+// cheaper to try a short slot first.
+func ExampleSolve() {
+	d, _ := dist.NewDiscrete([]float64{1, 10}, []float64{0.9, 0.1})
+	res, _ := dp.Solve(d, core.ReservationOnly)
+	fmt.Printf("sequence %v, expected cost %.1f\n", res.Sequence, res.ExpectedCost)
+	// Output:
+	// sequence [1 10], expected cost 2.0
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAblationTailEps(t *testing.T) {
+	cfg := Config{M: 400}
+	rows := AblationTailEps(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.ValidFrac) != len(TailEpsValues) || len(r.BestCost) != len(TailEpsValues) {
+			t.Fatalf("%s: ragged row", r.Distribution)
+		}
+		// Validity fraction is monotone in the tolerance.
+		for i := 1; i < len(r.ValidFrac); i++ {
+			if r.ValidFrac[i] < r.ValidFrac[i-1]-1e-12 {
+				t.Errorf("%s: validity not monotone: %v", r.Distribution, r.ValidFrac)
+			}
+		}
+		// Even the strict rule keeps the fast-growing candidates above
+		// the optimum, but the Fig.-3 gap below the optimum means the
+		// valid fraction stays below 1.
+		if r.ValidFrac[0] > 0.99 {
+			t.Errorf("%s: strict rule keeps %.3f of candidates (no gap?)", r.Distribution, r.ValidFrac[0])
+		}
+		// At eps = 1e-3 the search has a healthy valid region and a
+		// sensible optimum, at least as good as the strict one (the
+		// tolerance can only rescue candidates).
+		last := len(TailEpsValues) - 2 // 1e-3
+		if r.ValidFrac[last] < 0.1 {
+			t.Errorf("%s: eps=1e-3 keeps only %.3f", r.Distribution, r.ValidFrac[last])
+		}
+		if math.IsNaN(r.BestCost[last]) || r.BestCost[last] < 1 || r.BestCost[last] > 3 {
+			t.Errorf("%s: eps=1e-3 best cost %g", r.Distribution, r.BestCost[last])
+		}
+		if !math.IsNaN(r.BestCost[0]) && r.BestCost[last] > r.BestCost[0]+0.02 {
+			t.Errorf("%s: eps=1e-3 best %g worse than strict best %g",
+				r.Distribution, r.BestCost[last], r.BestCost[0])
+		}
+	}
+	out := RenderAblationTailEps(rows).String()
+	if !strings.Contains(out, "valid@") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblationScoring(t *testing.T) {
+	rows, err := AblationScoring(Config{M: 400, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The rescored MC winner can never beat the analytic optimum.
+		if r.MCRescored < r.AnalyticBest-1e-9 {
+			t.Errorf("%s: rescored %g below analytic optimum %g", r.Distribution, r.MCRescored, r.AnalyticBest)
+		}
+		// Selection bias: reported MC cost is typically below its true
+		// value; it must never be dramatically above.
+		if r.MCBest > r.MCRescored+0.5 {
+			t.Errorf("%s: reported %g far above true %g", r.Distribution, r.MCBest, r.MCRescored)
+		}
+	}
+	out := RenderAblationScoring(rows).String()
+	if !strings.Contains(out, "selection bias") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblationCheckpoint(t *testing.T) {
+	rows, err := AblationCheckpoint(Config{DiscN: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(CheckpointCosts) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Mixed > r.NoCkpt+1e-9 || r.Mixed > r.AllCkpt+1e-9 {
+			t.Errorf("C=%g: mixed %g not minimal (no %g, all %g)", r.C, r.Mixed, r.NoCkpt, r.AllCkpt)
+		}
+		if i > 0 && r.Mixed < rows[i-1].Mixed-1e-9 {
+			t.Errorf("mixed cost decreased with C: %v", rows)
+		}
+	}
+	// Cheap checkpoints on the heavy tail save a lot.
+	if !(rows[0].Mixed < 0.7*rows[0].NoCkpt) {
+		t.Errorf("free checkpoints save only %g vs %g", rows[0].Mixed, rows[0].NoCkpt)
+	}
+	out := RenderAblationCheckpoint(rows).String()
+	if !strings.Contains(out, "saving") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblationResources(t *testing.T) {
+	rows, err := AblationResources(Config{M: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	bestCount := 0
+	var bestProcs int
+	bestCost := math.Inf(1)
+	for _, r := range rows {
+		if r.Best {
+			bestCount++
+			bestProcs = r.Procs
+		}
+		if r.ExpectedCost < bestCost {
+			bestCost = r.ExpectedCost
+		}
+	}
+	if bestCount != 1 {
+		t.Fatalf("%d best rows", bestCount)
+	}
+	if bestProcs == 1 || bestProcs == 128 {
+		t.Errorf("expected interior optimum, got %d", bestProcs)
+	}
+	out := RenderAblationResources(rows).String()
+	if !strings.Contains(out, "procs") {
+		t.Error("render missing header")
+	}
+}

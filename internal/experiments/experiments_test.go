@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// small returns a configuration fast enough for unit tests while
+// keeping the experiment structure intact.
+func small() Config {
+	return Config{M: 300, N: 400, DiscN: 200, Epsilon: 1e-7, Seed: 7}
+}
+
+func TestTable2ShapeAndDominance(t *testing.T) {
+	rows, err := Table2(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Costs) != len(HeuristicNames) {
+			t.Fatalf("%s: %d cells", r.Distribution, len(r.Costs))
+		}
+		bf := r.Costs[0]
+		if math.IsNaN(bf) || bf < 1 {
+			t.Errorf("%s: brute-force cost %g", r.Distribution, bf)
+		}
+		// Paper's headline claims: every heuristic stays below the AWS
+		// factor-4 threshold, and brute force is the best column (up to
+		// MC noise).
+		for j, c := range r.Costs {
+			if math.IsNaN(c) {
+				t.Errorf("%s/%s: NaN cost", r.Distribution, HeuristicNames[j])
+				continue
+			}
+			if c >= 4 {
+				t.Errorf("%s/%s: cost %g >= 4 (AWS threshold)", r.Distribution, HeuristicNames[j], c)
+			}
+			if c < bf-0.25*bf {
+				t.Errorf("%s/%s: cost %g clearly beats brute force %g", r.Distribution, HeuristicNames[j], c, bf)
+			}
+		}
+	}
+	out := RenderTable2(rows).String()
+	if !strings.Contains(out, "Exponential") || !strings.Contains(out, "Brute-Force") {
+		t.Error("rendered table missing content")
+	}
+}
+
+func TestTable3UniformInvalidColumns(t *testing.T) {
+	rows, err := Table3(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uniform *Table3Row
+	for i := range rows {
+		if rows[i].Distribution == "Uniform" {
+			uniform = &rows[i]
+		}
+	}
+	if uniform == nil {
+		t.Fatal("no Uniform row")
+	}
+	// Theorem 4 / Table 3: every quantile-based t1 < b is invalid.
+	for q, c := range uniform.QuantileCost {
+		if !math.IsNaN(c) {
+			t.Errorf("Uniform Q(%.2f) cost = %g, want invalid", Table3Quantiles[q], c)
+		}
+	}
+	// The brute-force t1 is near b = 20 with cost near 4/3.
+	if math.Abs(uniform.BestT1-20) > 0.2 {
+		t.Errorf("Uniform best t1 = %g, want ≈20", uniform.BestT1)
+	}
+	if math.Abs(uniform.BestCost-4.0/3.0) > 0.05 {
+		t.Errorf("Uniform best cost = %g, want ≈1.33", uniform.BestCost)
+	}
+	out := RenderTable3(rows).String()
+	if !strings.Contains(out, "-") {
+		t.Error("rendered Table 3 missing '-' entries")
+	}
+}
+
+func TestTable3ExponentialValidityPattern(t *testing.T) {
+	rows, err := Table3(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp *Table3Row
+	for i := range rows {
+		if rows[i].Distribution == "Exponential" {
+			exp = &rows[i]
+		}
+	}
+	if exp == nil {
+		t.Fatal("no Exponential row")
+	}
+	// Paper's Table 3: Q(0.25) and Q(0.5) invalid; Q(0.75) and Q(0.99)
+	// valid with increasing cost.
+	if !math.IsNaN(exp.QuantileCost[0]) || !math.IsNaN(exp.QuantileCost[1]) {
+		t.Errorf("Exponential low quantiles should be invalid: %v", exp.QuantileCost)
+	}
+	if math.IsNaN(exp.QuantileCost[2]) || math.IsNaN(exp.QuantileCost[3]) {
+		t.Errorf("Exponential high quantiles should be valid: %v", exp.QuantileCost)
+	}
+	if !(exp.QuantileCost[3] > exp.QuantileCost[2]) {
+		t.Errorf("Q(0.99) cost %g should exceed Q(0.75) cost %g", exp.QuantileCost[3], exp.QuantileCost[2])
+	}
+	if math.Abs(exp.BestT1-0.74) > 0.12 {
+		t.Errorf("Exponential best t1 = %g, want ≈0.74", exp.BestT1)
+	}
+}
+
+func TestTable4Convergence(t *testing.T) {
+	cfg := small()
+	cfg.Analytic = true // noise-free so convergence is visible
+	rows, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		last := len(Table4SampleCounts) - 1
+		for _, series := range [][]float64{r.EqualTime, r.EqualProb} {
+			if len(series) != len(Table4SampleCounts) {
+				t.Fatalf("%s: series length %d", r.Distribution, len(series))
+			}
+			// n = 1000 must not be (much) worse than n = 10: the paper's
+			// claim is that costs improve with more samples.
+			if series[last] > series[0]*1.1+0.05 {
+				t.Errorf("%s: cost at n=1000 (%g) worse than n=10 (%g)",
+					r.Distribution, series[last], series[0])
+			}
+			if math.IsNaN(series[last]) || series[last] < 1 {
+				t.Errorf("%s: bad converged cost %g", r.Distribution, series[last])
+			}
+		}
+		// Uniform converges to 4/3 at every n (Table 4's constant row).
+		if r.Distribution == "Uniform" {
+			for j, v := range r.EqualTime {
+				if math.Abs(v-4.0/3.0) > 0.02 {
+					t.Errorf("Uniform ET n=%d: %g, want 1.33", Table4SampleCounts[j], v)
+				}
+			}
+		}
+	}
+	out := RenderTable4(rows).String()
+	if !strings.Contains(out, "ET n=1000") || !strings.Contains(out, "EP n=10") {
+		t.Error("rendered Table 4 missing headers")
+	}
+}
+
+func TestFig3SeriesShape(t *testing.T) {
+	cfg := small()
+	cfg.Analytic = true
+	series, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 9 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.T1) != cfg.M || len(s.Cost) != cfg.M {
+			t.Fatalf("%s: series length %d/%d, want %d", s.Distribution, len(s.T1), len(s.Cost), cfg.M)
+		}
+		valid := 0
+		for _, c := range s.Cost {
+			if !math.IsNaN(c) {
+				valid++
+			}
+		}
+		if valid == 0 {
+			t.Errorf("%s: no valid candidates", s.Distribution)
+		}
+		// The recorded best is the argmin of the valid points.
+		best := math.Inf(1)
+		bestT1 := math.NaN()
+		for i, c := range s.Cost {
+			if !math.IsNaN(c) && c < best {
+				best, bestT1 = c, s.T1[i]
+			}
+		}
+		if math.Abs(bestT1-s.BestT1) > 1e-9 {
+			t.Errorf("%s: BestT1 %g, argmin %g", s.Distribution, s.BestT1, bestT1)
+		}
+	}
+	// The Uniform series has gaps everywhere except at b (Fig. 3h).
+	for _, s := range series {
+		if s.Distribution != "Uniform" {
+			continue
+		}
+		valid := 0
+		for _, c := range s.Cost {
+			if !math.IsNaN(c) {
+				valid++
+			}
+		}
+		if valid > len(s.Cost)/10 {
+			t.Errorf("Uniform: %d/%d valid candidates, expected almost none", valid, len(s.Cost))
+		}
+	}
+	out := RenderFig3(series[0]).String()
+	if !strings.Contains(out, "t1") {
+		t.Error("rendered Fig 3 missing header")
+	}
+}
+
+func TestFig4ShapeAndRobustness(t *testing.T) {
+	cfg := small()
+	rows, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig4Factors) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		bf := r.Costs[0]
+		if math.IsNaN(bf) || bf < 1 || bf > 3.5 {
+			t.Errorf("factor %g: brute-force cost %g", r.Factor, bf)
+		}
+		// §5.3: Brute-Force and the discretization heuristics are close
+		// (within ~15%) at every scaling.
+		for _, j := range []int{5, 6} { // Equal-time, Equal-prob.
+			if math.IsNaN(r.Costs[j]) || math.Abs(r.Costs[j]-bf) > 0.2*bf {
+				t.Errorf("factor %g: %s cost %g far from brute force %g",
+					r.Factor, HeuristicNames[j], r.Costs[j], bf)
+			}
+		}
+	}
+	out := RenderFig4(rows).String()
+	if !strings.Contains(out, "Factor") {
+		t.Error("rendered Fig 4 missing header")
+	}
+}
+
+func TestFig4FromTracePipeline(t *testing.T) {
+	cfg := small()
+	row, m, err := Fig4FromTrace(cfg, trace.VBMQA, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Alpha-0.95) > 0.1 {
+		t.Errorf("fitted α = %g", m.Alpha)
+	}
+	if math.Abs(row.MeanHours-Fig4BaseMeanHours) > 0.05*Fig4BaseMeanHours {
+		t.Errorf("fitted mean %g h, want ≈%g", row.MeanHours, Fig4BaseMeanHours)
+	}
+	if math.IsNaN(row.Costs[0]) || row.Costs[0] < 1 {
+		t.Errorf("trace-pipeline brute-force cost %g", row.Costs[0])
+	}
+}
+
+func TestExp1FindsPaperConstant(t *testing.T) {
+	res, err := Exp1(Config{M: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.S1-0.74219) > 0.01 {
+		t.Errorf("s1 = %g, want ≈0.74219", res.S1)
+	}
+	if math.Abs(res.Sequence[1]-math.Exp(res.S1)) > 1e-6 {
+		t.Errorf("s2 = %g, want e^{s1} = %g", res.Sequence[1], math.Exp(res.S1))
+	}
+	if res.E1 < 2.2 || res.E1 > 2.5 {
+		t.Errorf("E1 = %g, want ≈2.36", res.E1)
+	}
+}
+
+func TestTable1PropertiesRenders(t *testing.T) {
+	out := Table1Properties().String()
+	for _, want := range []string{"Exponential", "BoundedPareto", "∞", "A1", "A2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.M != 5000 || cfg.N != 1000 || cfg.DiscN != 1000 || cfg.Epsilon != 1e-7 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if (Config{Analytic: true}).evalMode().String() != "analytic" {
+		t.Error("analytic mode string")
+	}
+}

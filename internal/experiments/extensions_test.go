@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStudyOnline(t *testing.T) {
+	rows, err := StudyOnline(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.BlockRatio) != OnlineBlocks {
+			t.Fatalf("%s: %d blocks", r.Estimator, len(r.BlockRatio))
+		}
+		// Converged: late blocks near 1.
+		last := r.BlockRatio[OnlineBlocks-1]
+		if last < 0.9 || last > 1.15 {
+			t.Errorf("%s: final block ratio %g", r.Estimator, last)
+		}
+		if r.TailRatio > 1.15 {
+			t.Errorf("%s: tail ratio %g", r.Estimator, r.TailRatio)
+		}
+	}
+	out := RenderStudyOnline(rows).String()
+	if !strings.Contains(out, "regret") {
+		t.Error("render missing header")
+	}
+}
+
+func TestStudyQueueDerivedWaits(t *testing.T) {
+	q, err := StudyQueueDerivedWaits(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Derived.Alpha <= 0 {
+		t.Errorf("derived slope %g not positive", q.Derived.Alpha)
+	}
+	if q.Stats.Utilization < 0.5 || q.Stats.Utilization > 1 {
+		t.Errorf("utilization %g out of congestion range", q.Stats.Utilization)
+	}
+	if q.Stats.Backfilled == 0 {
+		t.Error("no backfilling in a congested run")
+	}
+	if len(q.Profile) != 20 {
+		t.Errorf("%d profile groups", len(q.Profile))
+	}
+	out := RenderQueueStudy(q).String()
+	for _, want := range []string{"scheduler simulation", "synthetic log fit", "published"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestStudyMisspecification(t *testing.T) {
+	rows, err := StudyMisspecification(Config{M: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TrueCost < 1 || r.OracleCost < 1 {
+			t.Errorf("%s/%s: costs %g/%g below 1", r.Truth, r.PlannedOn, r.TrueCost, r.OracleCost)
+		}
+		// A misspecified plan can never beat the oracle on the truth
+		// (the oracle is the optimum of the same search space).
+		if r.OverheadPct < -1 {
+			t.Errorf("%s/%s: negative overhead %g%%", r.Truth, r.PlannedOn, r.OverheadPct)
+		}
+		// Headline robustness claim: moment-matched LogNormal planning
+		// stays within 25%% of the oracle on every truth.
+		if r.PlannedOn == "lognormal-moments" && r.OverheadPct > 25 {
+			t.Errorf("%s: lognormal-moments overhead %g%%", r.Truth, r.OverheadPct)
+		}
+	}
+	out := RenderMisspecification(rows).String()
+	if !strings.Contains(out, "overhead") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFullReport(t *testing.T) {
+	out, err := FullReport(Config{M: 200, N: 200, DiscN: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Reservation Strategies", "Table 2", "Table 3", "Table 4",
+		"Fig. 4", "§3.5", "tail tolerance", "checkpoint/restart",
+		"elastic requests", "online learning", "scheduler-derived",
+		"misspecification",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(out) < 4000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestStudyBimodal(t *testing.T) {
+	rows, err := StudyBimodal(Config{M: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(BimodalSeparations) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		bf := r.Costs[0]
+		if math.IsNaN(bf) || bf < 1 {
+			t.Errorf("Δ=%g: BF cost %g", r.Separation, bf)
+		}
+		// DP strategies (cols 5, 6) stay close to BF on every mixture.
+		for _, j := range []int{5, 6} {
+			if math.IsNaN(r.Costs[j]) || r.Costs[j] > 1.1*bf {
+				t.Errorf("Δ=%g: %s cost %g vs BF %g", r.Separation, HeuristicNames[j], r.Costs[j], bf)
+			}
+		}
+	}
+	// The bimodality penalty for the mean-anchored heuristics grows
+	// with separation: Mean-Stdev at Δ=3 is worse relative to BF than
+	// at Δ=0.5.
+	first, last := rows[0], rows[len(rows)-1]
+	relFirst := first.Costs[2] / first.Costs[0]
+	relLast := last.Costs[2] / last.Costs[0]
+	if !(relLast > relFirst) {
+		t.Errorf("mean-stdev penalty did not grow: %g → %g", relFirst, relLast)
+	}
+	out := RenderStudyBimodal(rows).String()
+	if !strings.Contains(out, "Δ (log)") {
+		t.Error("render missing header")
+	}
+}
+
+func TestStudyOverheadSensitivity(t *testing.T) {
+	rows, err := StudyOverheadSensitivity(Config{M: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(OverheadLevels) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.BFAttempts < 1 || math.IsNaN(r.BFCost) {
+			t.Errorf("γ/μ=%g: row %+v", r.GammaOverMean, r)
+		}
+		if i > 0 {
+			// More expensive retries → fewer expected attempts and a
+			// longer first reservation (monotone within tolerance).
+			if r.BFAttempts > rows[i-1].BFAttempts+0.02 {
+				t.Errorf("attempts rose with γ: %g → %g", rows[i-1].BFAttempts, r.BFAttempts)
+			}
+			if r.FirstOverMean < rows[i-1].FirstOverMean-0.02 {
+				t.Errorf("first reservation shrank with γ: %g → %g", rows[i-1].FirstOverMean, r.FirstOverMean)
+			}
+		}
+	}
+	out := RenderStudyOverhead(rows).String()
+	if !strings.Contains(out, "E[attempts]") {
+		t.Error("render missing header")
+	}
+}
+
+func TestStudyAttemptBudget(t *testing.T) {
+	rows, err := StudyAttemptBudget(Config{DiscN: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.PlanLen > r.MaxAttempts {
+			t.Errorf("K=%d plan uses %d attempts", r.MaxAttempts, r.PlanLen)
+		}
+		if i > 0 && r.Cost > rows[i-1].Cost+1e-9 {
+			t.Errorf("cost rose with budget: K=%d", r.MaxAttempts)
+		}
+	}
+	// One attempt is expensive (must cover the whole truncated tail);
+	// a handful of attempts recovers most of the benefit.
+	if !(rows[0].Cost > 1.5*rows[7].Cost) {
+		t.Errorf("K=1 (%g) not clearly worse than K=8 (%g)", rows[0].Cost, rows[7].Cost)
+	}
+	if rows[3].Cost > 1.1*rows[7].Cost {
+		t.Errorf("K=4 (%g) far from K=8 (%g)", rows[3].Cost, rows[7].Cost)
+	}
+	out := RenderStudyAttemptBudget(rows).String()
+	if !strings.Contains(out, "plan length") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/simulate"
+	"repro/internal/strategy"
+	"repro/internal/tablefmt"
+)
+
+// MisspecRow is one (truth, planning model) cell of the
+// misspecification study: a sequence planned on a wrong or estimated
+// model, priced on the true law.
+type MisspecRow struct {
+	Truth string
+	// PlannedOn identifies the model the planner saw.
+	PlannedOn string
+	// TrueCost is the exact normalized cost of the planned sequence
+	// under the truth.
+	TrueCost float64
+	// OracleCost is the exact normalized cost of planning directly on
+	// the truth.
+	OracleCost float64
+	// OverheadPct = 100·(TrueCost/OracleCost − 1).
+	OverheadPct float64
+}
+
+// StudyMisspecification measures how robust the brute-force plan is to
+// model error — the situation every real deployment faces: the law is
+// never known, only fitted. Three planning models per truth:
+//
+//   - "truth" — the clairvoyant oracle;
+//   - "lognormal-moments" — a LogNormal moment-matched to the truth
+//     (the paper's §5.3 practice: everything is fitted as LogNormal);
+//   - "fit-100-samples" — a LogNormal fitted to only 100 observed runs.
+func StudyMisspecification(cfg Config) ([]MisspecRow, error) {
+	cfg = cfg.withDefaults()
+	m := core.ReservationOnly
+	truths := []dist.Distribution{
+		dist.MustGamma(2, 2),
+		dist.MustWeibull(1, 1.5),
+		dist.MustLogNormal(1, 0.5),
+		dist.MustTruncatedNormal(8, 1.4142135623730951, 0),
+	}
+	gridM := cfg.M
+	if gridM > 1500 {
+		gridM = 1500
+	}
+	bf := strategy.BruteForce{M: gridM, Mode: strategy.EvalAnalytic}
+
+	planAndPrice := func(truth, planModel dist.Distribution) (float64, error) {
+		seq, err := bf.Sequence(m, planModel)
+		if err != nil {
+			return math.NaN(), err
+		}
+		e, err := core.ExpectedCost(m, truth, seq.Clone())
+		if err != nil || math.IsInf(e, 1) {
+			return math.NaN(), err
+		}
+		return e / m.OmniscientCost(truth), nil
+	}
+
+	var rows []MisspecRow
+	for ti, truth := range truths {
+		oracle, err := planAndPrice(truth, truth)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: oracle plan on %s: %w", truth.Name(), err)
+		}
+		models := []struct {
+			name string
+			d    dist.Distribution
+		}{}
+		if mm, err := dist.LogNormalFromMoments(truth.Mean(), dist.StdDev(truth)); err == nil {
+			models = append(models, struct {
+				name string
+				d    dist.Distribution
+			}{"lognormal-moments", mm})
+		}
+		samples := simulate.Samples(truth, 100, cfg.Seed+uint64(ti))
+		if fit, err := dist.FitLogNormal(samples); err == nil {
+			models = append(models, struct {
+				name string
+				d    dist.Distribution
+			}{"fit-100-samples", fit})
+		}
+		rows = append(rows, MisspecRow{
+			Truth: truth.Name(), PlannedOn: "truth (oracle)",
+			TrueCost: oracle, OracleCost: oracle, OverheadPct: 0,
+		})
+		for _, mod := range models {
+			c, err := planAndPrice(truth, mod.d)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", mod.name, truth.Name(), err)
+			}
+			rows = append(rows, MisspecRow{
+				Truth: truth.Name(), PlannedOn: mod.name,
+				TrueCost: c, OracleCost: oracle,
+				OverheadPct: 100 * (c/oracle - 1),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderMisspecification formats the misspecification study.
+func RenderMisspecification(rows []MisspecRow) *tablefmt.Table {
+	t := tablefmt.New(
+		"Robustness: planning on a misspecified model, priced on the truth (ReservationOnly, normalized costs)",
+		"Truth", "Planned on", "true cost", "oracle", "overhead")
+	for _, r := range rows {
+		t.AddRow(r.Truth, r.PlannedOn,
+			tablefmt.Num(r.TrueCost), tablefmt.Num(r.OracleCost),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct))
+	}
+	return t
+}

@@ -1,0 +1,150 @@
+// Package parallel provides the small worker-pool substrate used by the
+// Monte-Carlo engine and the experiment drivers: bounded-goroutine
+// iteration over index ranges with deterministic work assignment and
+// panic propagation. Work is split into contiguous blocks so that each
+// worker can own one RNG stream and results stay reproducible whatever
+// the scheduling order.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers returns the default worker count: GOMAXPROCS capped at n (no
+// point spawning more workers than items).
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 selects Workers(n)). Iterations are distributed in
+// contiguous blocks: worker w handles [w*n/W, (w+1)*n/W). A panic in
+// any iteration is re-raised on the caller's goroutine after all
+// workers stop.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 || workers > n {
+		workers = Workers(n)
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel.ForEach: worker panic: %v", panicked))
+	}
+}
+
+// ForEachBlock runs fn(worker, lo, hi) once per worker with the block
+// boundaries that ForEach would use. It is the building block for
+// reductions where each worker accumulates into private state (e.g. one
+// RNG stream and one partial sum per worker).
+func ForEachBlock(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 || workers > n {
+		workers = Workers(n)
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel.ForEachBlock: worker panic: %v", panicked))
+	}
+}
+
+// Map computes out[i] = fn(i) for i in [0, n) in parallel and returns
+// the slice.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// SumBlocks computes Σ_{i=0}^{n-1} fn(i) with one partial sum per
+// worker, summed deterministically in worker order so the result does
+// not depend on scheduling.
+func SumBlocks(n, workers int, fn func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 || workers > n {
+		workers = Workers(n)
+	}
+	partial := make([]float64, workers)
+	ForEachBlock(n, workers, func(w, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += fn(i)
+		}
+		partial[w] = s
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,25 @@
+package queuesim_test
+
+import (
+	"fmt"
+
+	"repro/internal/queuesim"
+)
+
+// ExampleSimulate shows EASY backfilling on a toy cluster: the short
+// narrow job jumps a blocked head without delaying it.
+func ExampleSimulate() {
+	jobs := []queuesim.Job{
+		{ID: 0, Arrival: 0, Nodes: 3, Requested: 10, Actual: 10}, // fills 3 of 4 nodes
+		{ID: 1, Arrival: 1, Nodes: 4, Requested: 10, Actual: 10}, // blocked head
+		{ID: 2, Arrival: 2, Nodes: 1, Requested: 3, Actual: 3},   // backfills
+	}
+	res, _ := queuesim.Simulate(queuesim.Config{Nodes: 4, EnableBackfill: true}, jobs)
+	for _, r := range res {
+		fmt.Printf("job %d: start %.0f backfilled=%v\n", r.ID, r.Start, r.Backfilled)
+	}
+	// Output:
+	// job 0: start 0 backfilled=false
+	// job 1: start 10 backfilled=false
+	// job 2: start 2 backfilled=true
+}

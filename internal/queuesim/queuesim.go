@@ -1,0 +1,271 @@
+// Package queuesim is a discrete-event simulator of a space-shared HPC
+// cluster with FCFS scheduling and EASY backfilling — the scheduler
+// family the paper's §6 discusses (Slurm-style, Mu'alem & Feitelson's
+// backfilling). It upgrades the trace substrate: instead of *assuming*
+// the affine wait-time law of Fig. 2 (wait ≈ α·requested + γ), the
+// simulator derives it from first principles — longer requested
+// walltimes backfill less easily and wait longer, and fitting the
+// simulated per-group average waits recovers an affine profile that
+// feeds platform.NeuroHPCFromWaitModel exactly like the synthetic log
+// does.
+//
+// The model: a cluster of Nodes identical nodes; each job needs a node
+// count, a requested walltime (its reservation) and an actual runtime;
+// a job is killed at its requested walltime if still running (the
+// paper's reservation semantics). Jobs arrive at given times and are
+// queued FCFS. At every event the scheduler starts the queue head
+// whenever it fits; otherwise it computes the head's shadow time (the
+// earliest time enough nodes free up) and backfills later jobs that
+// either finish by the shadow time or fit into the nodes the head will
+// not need (classic EASY: backfilling never delays the head job).
+package queuesim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Job is one submission.
+type Job struct {
+	// ID is the caller-assigned identifier.
+	ID int
+	// Arrival is the submission time.
+	Arrival float64
+	// Nodes is the number of nodes requested.
+	Nodes int
+	// Requested is the requested walltime (the reservation length).
+	Requested float64
+	// Actual is the job's true runtime; it occupies its nodes for
+	// min(Actual, Requested).
+	Actual float64
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	Job
+	// Start is when the job began executing.
+	Start float64
+	// Wait = Start - Arrival.
+	Wait float64
+	// End is when the nodes were released.
+	End float64
+	// Killed reports whether the job hit its requested walltime before
+	// finishing.
+	Killed bool
+	// Backfilled reports whether the job jumped the FCFS order.
+	Backfilled bool
+}
+
+// Config describes the cluster and scheduling policy.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// EnableBackfill turns EASY backfilling on (pure FCFS otherwise).
+	EnableBackfill bool
+}
+
+// running is an executing job.
+type running struct {
+	end   float64
+	nodes int
+}
+
+// Simulate runs the given jobs (any order; they are sorted by arrival)
+// to completion and returns per-job results sorted by ID.
+func Simulate(cfg Config, jobs []Job) ([]Result, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("queuesim: cluster needs at least 1 node, got %d", cfg.Nodes)
+	}
+	for _, j := range jobs {
+		if j.Nodes < 1 || j.Nodes > cfg.Nodes {
+			return nil, fmt.Errorf("queuesim: job %d requests %d nodes on a %d-node cluster", j.ID, j.Nodes, cfg.Nodes)
+		}
+		if !(j.Requested > 0) || j.Actual < 0 || math.IsNaN(j.Arrival) || j.Arrival < 0 {
+			return nil, fmt.Errorf("queuesim: job %d has invalid times (arrival %g, requested %g, actual %g)", j.ID, j.Arrival, j.Requested, j.Actual)
+		}
+	}
+
+	pending := append([]Job(nil), jobs...)
+	sort.SliceStable(pending, func(i, k int) bool { return pending[i].Arrival < pending[k].Arrival })
+
+	var (
+		now     float64
+		free    = cfg.Nodes
+		run     []running
+		queue   []Job
+		results = make([]Result, 0, len(jobs))
+		next    int // index into pending
+	)
+
+	finishOne := func() {
+		// Pop the earliest completion.
+		sort.Slice(run, func(i, k int) bool { return run[i].end < run[k].end })
+		now = run[0].end
+		free += run[0].nodes
+		run = run[1:]
+	}
+
+	start := func(j Job, backfilled bool) {
+		dur := math.Min(j.Actual, j.Requested)
+		res := Result{
+			Job:        j,
+			Start:      now,
+			Wait:       now - j.Arrival,
+			End:        now + dur,
+			Killed:     j.Actual > j.Requested,
+			Backfilled: backfilled,
+		}
+		results = append(results, res)
+		run = append(run, running{end: res.End, nodes: j.Nodes})
+		free -= j.Nodes
+	}
+
+	// schedule starts whatever can start at the current time.
+	schedule := func() {
+		for len(queue) > 0 {
+			head := queue[0]
+			if head.Nodes <= free {
+				queue = queue[1:]
+				start(head, false)
+				continue
+			}
+			if !cfg.EnableBackfill {
+				return
+			}
+			// EASY backfilling: find the head's shadow time and spare
+			// nodes at that time.
+			shadow, spare := shadowOf(head, free, run)
+			kept := queue[:1]
+			for _, j := range queue[1:] {
+				fitsNow := j.Nodes <= free
+				endsByShadow := now+j.Requested <= shadow+1e-12
+				fitsSpare := j.Nodes <= spare
+				if fitsNow && (endsByShadow || fitsSpare) {
+					start(j, true)
+					if fitsSpare && !endsByShadow {
+						// The job occupies nodes past the shadow time;
+						// account for them so later backfills cannot
+						// delay the head.
+						spare -= j.Nodes
+					}
+					continue
+				}
+				kept = append(kept, j)
+			}
+			queue = kept
+			return
+		}
+	}
+
+	// Strict event loop: schedule at the current instant, then consume
+	// exactly one event (a completion or a batch of simultaneous
+	// arrivals). Every iteration consumes an event, so the loop
+	// terminates after O(#jobs) iterations.
+	for {
+		schedule()
+		nextArrival := math.Inf(1)
+		if next < len(pending) {
+			nextArrival = pending[next].Arrival
+		}
+		nextEnd := math.Inf(1)
+		if len(run) > 0 {
+			nextEnd = minEnd(run)
+		}
+		if math.IsInf(nextArrival, 1) && math.IsInf(nextEnd, 1) {
+			if len(queue) > 0 {
+				return nil, errors.New("queuesim: deadlock — queued jobs but no events")
+			}
+			break
+		}
+		if nextEnd <= nextArrival {
+			finishOne()
+		} else {
+			now = nextArrival
+			for next < len(pending) && pending[next].Arrival == now {
+				queue = append(queue, pending[next])
+				next++
+			}
+		}
+	}
+
+	sort.Slice(results, func(i, k int) bool { return results[i].ID < results[k].ID })
+	return results, nil
+}
+
+// minEnd returns the earliest completion time among running jobs.
+func minEnd(run []running) float64 {
+	m := math.Inf(1)
+	for _, r := range run {
+		if r.end < m {
+			m = r.end
+		}
+	}
+	return m
+}
+
+// shadowOf computes the earliest time the head job could start (the
+// shadow time) and the nodes that will remain spare at that moment
+// beyond the head's need.
+func shadowOf(head Job, free int, run []running) (shadow float64, spare int) {
+	rs := append([]running(nil), run...)
+	sort.Slice(rs, func(i, k int) bool { return rs[i].end < rs[k].end })
+	avail := free
+	for _, r := range rs {
+		if avail >= head.Nodes {
+			break
+		}
+		avail += r.nodes
+		shadow = r.end
+	}
+	if avail < head.Nodes {
+		return math.Inf(1), 0
+	}
+	return shadow, avail - head.Nodes
+}
+
+// Stats summarizes a simulation.
+type Stats struct {
+	// MeanWait is the average wait over all jobs.
+	MeanWait float64
+	// MaxWait is the largest wait.
+	MaxWait float64
+	// Backfilled is the number of jobs that jumped the queue.
+	Backfilled int
+	// Killed is the number of jobs that exceeded their request.
+	Killed int
+	// Utilization is busy node-time over Nodes·makespan.
+	Utilization float64
+}
+
+// Summarize computes aggregate statistics for a result set on the given
+// cluster.
+func Summarize(cfg Config, results []Result) Stats {
+	var s Stats
+	if len(results) == 0 {
+		return s
+	}
+	var busy, tMin, tMax float64
+	tMin = math.Inf(1)
+	for _, r := range results {
+		s.MeanWait += r.Wait
+		if r.Wait > s.MaxWait {
+			s.MaxWait = r.Wait
+		}
+		if r.Backfilled {
+			s.Backfilled++
+		}
+		if r.Killed {
+			s.Killed++
+		}
+		busy += (r.End - r.Start) * float64(r.Nodes)
+		tMin = math.Min(tMin, r.Arrival)
+		tMax = math.Max(tMax, r.End)
+	}
+	s.MeanWait /= float64(len(results))
+	if span := tMax - tMin; span > 0 {
+		s.Utilization = busy / (span * float64(cfg.Nodes))
+	}
+	return s
+}

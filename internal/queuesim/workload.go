@@ -1,0 +1,125 @@
+package queuesim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// WorkloadConfig describes a synthetic cluster workload.
+type WorkloadConfig struct {
+	// Jobs is the number of submissions.
+	Jobs int
+	// MaxJobNodes bounds the per-job node request (uniform in
+	// [1, MaxJobNodes]).
+	MaxJobNodes int
+	// ArrivalRate is the Poisson arrival rate (jobs per time unit).
+	ArrivalRate float64
+	// RequestedMin and RequestedMax bound the requested walltimes
+	// (log-uniform between them, mimicking the order-of-magnitude
+	// spread of real logs).
+	RequestedMin, RequestedMax float64
+	// UseFraction in (0, 1]: each job's actual runtime is
+	// requested · Uniform(UseFraction, 1) (users over-estimate).
+	UseFraction float64
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// GenerateWorkload synthesizes a job stream.
+func GenerateWorkload(cfg WorkloadConfig) ([]Job, error) {
+	if cfg.Jobs < 1 {
+		return nil, fmt.Errorf("queuesim: need at least 1 job, got %d", cfg.Jobs)
+	}
+	if cfg.MaxJobNodes < 1 {
+		return nil, fmt.Errorf("queuesim: MaxJobNodes must be >= 1, got %d", cfg.MaxJobNodes)
+	}
+	if !(cfg.ArrivalRate > 0) {
+		return nil, fmt.Errorf("queuesim: arrival rate must be positive, got %g", cfg.ArrivalRate)
+	}
+	if !(cfg.RequestedMin > 0) || !(cfg.RequestedMax > cfg.RequestedMin) {
+		return nil, fmt.Errorf("queuesim: invalid requested range [%g, %g]", cfg.RequestedMin, cfg.RequestedMax)
+	}
+	if !(cfg.UseFraction > 0) || cfg.UseFraction > 1 {
+		return nil, fmt.Errorf("queuesim: UseFraction must be in (0, 1], got %g", cfg.UseFraction)
+	}
+	r := rng.New(cfg.Seed)
+	jobs := make([]Job, cfg.Jobs)
+	t := 0.0
+	logMin, logMax := math.Log(cfg.RequestedMin), math.Log(cfg.RequestedMax)
+	for i := range jobs {
+		t += r.ExpFloat64() / cfg.ArrivalRate
+		req := math.Exp(logMin + (logMax-logMin)*r.Float64())
+		use := cfg.UseFraction + (1-cfg.UseFraction)*r.Float64()
+		jobs[i] = Job{
+			ID:        i,
+			Arrival:   t,
+			Nodes:     1 + int(r.Uint64n(uint64(cfg.MaxJobNodes))),
+			Requested: req,
+			Actual:    req * use,
+		}
+	}
+	return jobs, nil
+}
+
+// WaitProfile buckets completed jobs into equal-size groups by
+// requested walltime (as Fig. 2 clusters jobs into 20 groups of similar
+// requested runtime) and returns each group's average wait — directly
+// consumable by trace.FitWaitTimeModel.
+func WaitProfile(results []Result, groups int) ([]trace.WaitGroup, error) {
+	if groups < 2 {
+		return nil, fmt.Errorf("queuesim: need at least 2 groups, got %d", groups)
+	}
+	if len(results) < groups {
+		return nil, fmt.Errorf("queuesim: %d results cannot fill %d groups", len(results), groups)
+	}
+	rs := append([]Result(nil), results...)
+	sort.Slice(rs, func(i, k int) bool { return rs[i].Requested < rs[k].Requested })
+	out := make([]trace.WaitGroup, 0, groups)
+	for g := 0; g < groups; g++ {
+		lo := g * len(rs) / groups
+		hi := (g + 1) * len(rs) / groups
+		if hi == lo {
+			continue
+		}
+		var reqSum, waitSum float64
+		for _, r := range rs[lo:hi] {
+			reqSum += r.Requested
+			waitSum += r.Wait
+		}
+		n := float64(hi - lo)
+		out = append(out, trace.WaitGroup{
+			RequestedSec: reqSum / n,
+			AvgWaitSec:   waitSum / n,
+			Jobs:         hi - lo,
+		})
+	}
+	return out, nil
+}
+
+// DeriveWaitTimeModel runs the whole Fig.-2 derivation: generate a
+// workload, simulate it under EASY backfilling on a cluster of the
+// given size, bucket the waits, and fit the affine law.
+func DeriveWaitTimeModel(nodes int, wl WorkloadConfig, groups int) (trace.WaitTimeModel, []trace.WaitGroup, Stats, error) {
+	jobs, err := GenerateWorkload(wl)
+	if err != nil {
+		return trace.WaitTimeModel{}, nil, Stats{}, err
+	}
+	cfg := Config{Nodes: nodes, EnableBackfill: true}
+	results, err := Simulate(cfg, jobs)
+	if err != nil {
+		return trace.WaitTimeModel{}, nil, Stats{}, err
+	}
+	prof, err := WaitProfile(results, groups)
+	if err != nil {
+		return trace.WaitTimeModel{}, nil, Stats{}, err
+	}
+	model, err := trace.FitWaitTimeModel(prof)
+	if err != nil {
+		return trace.WaitTimeModel{}, nil, Stats{}, err
+	}
+	return model, prof, Summarize(cfg, results), nil
+}

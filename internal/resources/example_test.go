@@ -1,0 +1,29 @@
+package resources_test
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/resources"
+	"repro/internal/strategy"
+)
+
+// ExampleOptimize picks the processor count for an elastic request:
+// with a serial fraction and only node-hours billed, one processor is
+// cheapest; deadline pressure pushes the optimum up.
+func ExampleOptimize() {
+	work := dist.MustGamma(2, 2)
+	su, _ := resources.NewAmdahl(0.2)
+	bf := strategy.BruteForce{M: 400, Mode: strategy.EvalAnalytic}
+
+	flat := resources.JobCost{NodeAlpha: 1}
+	best, _, _ := resources.Optimize(work, flat, su, []int{1, 4, 16}, bf)
+	fmt.Printf("node-hours only: p = %d\n", best.Procs)
+
+	hurried := resources.JobCost{NodeAlpha: 1, TimeWeight: 30}
+	best, _, _ = resources.Optimize(work, hurried, su, []int{1, 4, 16}, bf)
+	fmt.Printf("with deadline pressure: p = %d\n", best.Procs)
+	// Output:
+	// node-hours only: p = 1
+	// with deadline pressure: p = 16
+}

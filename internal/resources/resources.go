@@ -1,0 +1,195 @@
+// Package resources implements the other extension proposed in the
+// paper's conclusion (§7): "allowing requests with variable amount of
+// resources, hence offering a combination of a reservation time and a
+// number of processors".
+//
+// The model: a job has a random total work W (node-time units at unit
+// speed) following a known law; on p processors it runs for
+// T_p = σ(p)·W wall-clock units, where σ(p) is the per-unit-work time
+// of a speedup model (e.g. Amdahl). A reservation is a pair (p, t1)
+// costing
+//
+//	NodeAlpha·p·t1 + NodeBeta·p·min(t1, T_p) + Overhead + TimeWeight·t1
+//
+// — node-hours requested and used, a per-attempt overhead, and a
+// valuation of the wall-clock time reserved (turnaround). For a fixed
+// p this is exactly the paper's affine model over the scaled law
+// σ(p)·W, so the per-p subproblem reuses the whole reservation
+// machinery; Optimize solves it for every admissible p and returns the
+// best combination.
+package resources
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/strategy"
+)
+
+// SpeedupModel maps a processor count to the wall-clock time needed per
+// unit of work.
+type SpeedupModel interface {
+	// TimePerWork returns σ(p) > 0, the time to complete one unit of
+	// work on p processors.
+	TimePerWork(p int) float64
+	// Name identifies the model.
+	Name() string
+}
+
+// Amdahl is the Amdahl speedup law with a serial fraction s:
+// σ(p) = s + (1-s)/p.
+type Amdahl struct {
+	// SerialFraction is the fraction of the work that cannot be
+	// parallelized, in [0, 1].
+	SerialFraction float64
+}
+
+// NewAmdahl validates and returns an Amdahl model.
+func NewAmdahl(serialFraction float64) (Amdahl, error) {
+	if serialFraction < 0 || serialFraction > 1 || math.IsNaN(serialFraction) {
+		return Amdahl{}, fmt.Errorf("resources: serial fraction must be in [0, 1], got %g", serialFraction)
+	}
+	return Amdahl{SerialFraction: serialFraction}, nil
+}
+
+// TimePerWork implements SpeedupModel.
+func (a Amdahl) TimePerWork(p int) float64 {
+	if p < 1 {
+		return math.NaN()
+	}
+	return a.SerialFraction + (1-a.SerialFraction)/float64(p)
+}
+
+// Name implements SpeedupModel.
+func (a Amdahl) Name() string {
+	return fmt.Sprintf("Amdahl(s=%g)", a.SerialFraction)
+}
+
+// PowerLaw is the sublinear speedup σ(p) = p^{-e} for an efficiency
+// exponent e in (0, 1]; e = 1 is perfect scaling.
+type PowerLaw struct {
+	// Exponent e in (0, 1].
+	Exponent float64
+}
+
+// NewPowerLaw validates and returns a power-law model.
+func NewPowerLaw(exponent float64) (PowerLaw, error) {
+	if !(exponent > 0) || exponent > 1 {
+		return PowerLaw{}, fmt.Errorf("resources: exponent must be in (0, 1], got %g", exponent)
+	}
+	return PowerLaw{Exponent: exponent}, nil
+}
+
+// TimePerWork implements SpeedupModel.
+func (pl PowerLaw) TimePerWork(p int) float64 {
+	if p < 1 {
+		return math.NaN()
+	}
+	return math.Pow(float64(p), -pl.Exponent)
+}
+
+// Name implements SpeedupModel.
+func (pl PowerLaw) Name() string {
+	return fmt.Sprintf("PowerLaw(e=%g)", pl.Exponent)
+}
+
+// JobCost parameterizes the two-dimensional reservation cost.
+type JobCost struct {
+	// NodeAlpha prices each requested node-time unit.
+	NodeAlpha float64
+	// NodeBeta prices each used node-time unit.
+	NodeBeta float64
+	// Overhead is the fixed per-attempt cost (submission, queueing).
+	Overhead float64
+	// TimeWeight values each wall-clock unit of reserved time
+	// (turnaround pressure); 0 means only node-hours matter.
+	TimeWeight float64
+}
+
+// Validate checks the parameters.
+func (c JobCost) Validate() error {
+	for name, v := range map[string]float64{
+		"NodeAlpha": c.NodeAlpha, "NodeBeta": c.NodeBeta,
+		"Overhead": c.Overhead, "TimeWeight": c.TimeWeight,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("resources: %s must be nonnegative and finite, got %g", name, v)
+		}
+	}
+	if c.NodeAlpha == 0 && c.TimeWeight == 0 {
+		return errors.New("resources: need NodeAlpha > 0 or TimeWeight > 0 (cost must grow with the request)")
+	}
+	return nil
+}
+
+// ModelFor returns the paper-style affine cost model governing the
+// fixed-p subproblem, in wall-clock time units.
+func (c JobCost) ModelFor(p int) core.CostModel {
+	return core.CostModel{
+		Alpha: c.NodeAlpha*float64(p) + c.TimeWeight,
+		Beta:  c.NodeBeta * float64(p),
+		Gamma: c.Overhead,
+	}
+}
+
+// Choice is the solution of one fixed-p subproblem.
+type Choice struct {
+	// Procs is the processor count.
+	Procs int
+	// ExpectedCost is the optimal expected cost at this p.
+	ExpectedCost float64
+	// Sequence is the wall-clock reservation sequence at this p.
+	Sequence *core.Sequence
+	// TimeDist is the execution-time law σ(p)·W.
+	TimeDist dist.Distribution
+	// Model is the affine cost model of the subproblem.
+	Model core.CostModel
+}
+
+// Optimize solves the fixed-p subproblem for every processor count in
+// procs with the given strategy and returns the best choice plus all
+// per-p solutions (sorted as given). Processor counts must be >= 1.
+func Optimize(work dist.Distribution, cost JobCost, su SpeedupModel, procs []int, st strategy.Strategy) (Choice, []Choice, error) {
+	if err := cost.Validate(); err != nil {
+		return Choice{}, nil, err
+	}
+	if work == nil || su == nil || st == nil {
+		return Choice{}, nil, errors.New("resources: work law, speedup model and strategy are required")
+	}
+	if len(procs) == 0 {
+		return Choice{}, nil, errors.New("resources: no processor counts to consider")
+	}
+	all := make([]Choice, 0, len(procs))
+	best := Choice{ExpectedCost: math.Inf(1)}
+	for _, p := range procs {
+		if p < 1 {
+			return Choice{}, nil, fmt.Errorf("resources: processor count must be >= 1, got %d", p)
+		}
+		sigma := su.TimePerWork(p)
+		if !(sigma > 0) || math.IsNaN(sigma) {
+			return Choice{}, nil, fmt.Errorf("resources: speedup model %s gives invalid σ(%d) = %g", su.Name(), p, sigma)
+		}
+		td, err := dist.NewScaled(work, sigma)
+		if err != nil {
+			return Choice{}, nil, err
+		}
+		m := cost.ModelFor(p)
+		seq, err := st.Sequence(m, td)
+		if err != nil {
+			return Choice{}, nil, fmt.Errorf("resources: p=%d: %w", p, err)
+		}
+		e, err := core.ExpectedCost(m, td, seq.Clone())
+		if err != nil {
+			return Choice{}, nil, fmt.Errorf("resources: p=%d cost: %w", p, err)
+		}
+		ch := Choice{Procs: p, ExpectedCost: e, Sequence: seq, TimeDist: td, Model: m}
+		all = append(all, ch)
+		if e < best.ExpectedCost {
+			best = ch
+		}
+	}
+	return best, all, nil
+}

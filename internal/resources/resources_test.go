@@ -1,0 +1,183 @@
+package resources
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/strategy"
+)
+
+func bf() strategy.Strategy {
+	return strategy.BruteForce{M: 500, Mode: strategy.EvalAnalytic}
+}
+
+func TestSpeedupModels(t *testing.T) {
+	a, err := NewAmdahl(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.TimePerWork(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Amdahl σ(1) = %g, want 1", got)
+	}
+	// σ(p) → serial fraction as p → ∞.
+	if got := a.TimePerWork(1 << 20); math.Abs(got-0.1) > 1e-5 {
+		t.Errorf("Amdahl σ(big) = %g, want ≈0.1", got)
+	}
+	if !math.IsNaN(a.TimePerWork(0)) {
+		t.Error("σ(0) should be NaN")
+	}
+	if _, err := NewAmdahl(1.5); err == nil {
+		t.Error("serial fraction > 1 accepted")
+	}
+
+	pl, err := NewPowerLaw(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.TimePerWork(16); math.Abs(got-math.Pow(16, -0.8)) > 1e-12 {
+		t.Errorf("PowerLaw σ(16) = %g", got)
+	}
+	if _, err := NewPowerLaw(0); err == nil {
+		t.Error("zero exponent accepted")
+	}
+	if _, err := NewPowerLaw(1.2); err == nil {
+		t.Error("superlinear exponent accepted")
+	}
+	if a.Name() == "" || pl.Name() == "" {
+		t.Error("empty model names")
+	}
+}
+
+func TestJobCostValidate(t *testing.T) {
+	if err := (JobCost{NodeAlpha: 1}).Validate(); err != nil {
+		t.Errorf("valid cost rejected: %v", err)
+	}
+	if err := (JobCost{}).Validate(); err == nil {
+		t.Error("all-zero cost accepted")
+	}
+	if err := (JobCost{NodeAlpha: -1}).Validate(); err == nil {
+		t.Error("negative price accepted")
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	c := JobCost{NodeAlpha: 2, NodeBeta: 1, Overhead: 3, TimeWeight: 5}
+	m := c.ModelFor(4)
+	if m.Alpha != 2*4+5 || m.Beta != 4 || m.Gamma != 3 {
+		t.Errorf("model = %+v", m)
+	}
+}
+
+// TestPerfectSpeedupIsProcsInvariant: with perfect scaling, no
+// turnaround valuation and no overhead, node-hours are conserved, so
+// every p costs the same.
+func TestPerfectSpeedupIsProcsInvariant(t *testing.T) {
+	work := dist.MustLogNormal(1, 0.5)
+	cost := JobCost{NodeAlpha: 1}
+	su, _ := NewPowerLaw(1) // σ(p) = 1/p
+	best, all, err := Optimize(work, cost, su, []int{1, 2, 8, 64}, bf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range all {
+		if math.Abs(ch.ExpectedCost-all[0].ExpectedCost) > 0.01*all[0].ExpectedCost {
+			t.Errorf("p=%d: cost %g differs from p=1 cost %g", ch.Procs, ch.ExpectedCost, all[0].ExpectedCost)
+		}
+	}
+	if best.ExpectedCost > all[0].ExpectedCost+1e-9 {
+		t.Errorf("best %g worse than p=1 %g", best.ExpectedCost, all[0].ExpectedCost)
+	}
+}
+
+// TestSerialFractionFavoursFewProcs: with a serial fraction and only
+// node-hours priced, parallelism burns node-time on the serial part, so
+// p = 1 wins.
+func TestSerialFractionFavoursFewProcs(t *testing.T) {
+	work := dist.MustGamma(2, 2)
+	cost := JobCost{NodeAlpha: 1}
+	su, _ := NewAmdahl(0.2)
+	best, all, err := Optimize(work, cost, su, []int{1, 2, 4, 16}, bf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Procs != 1 {
+		t.Errorf("best p = %d, want 1 (costs: %v)", best.Procs, costsOf(all))
+	}
+	// Costs increase with p.
+	for i := 1; i < len(all); i++ {
+		if all[i].ExpectedCost < all[i-1].ExpectedCost-1e-9 {
+			t.Errorf("cost not increasing in p: %v", costsOf(all))
+		}
+	}
+}
+
+// TestTurnaroundPressureCreatesInteriorOptimum: valuing wall-clock time
+// pushes toward more processors; with a serial fraction the optimum is
+// interior.
+func TestTurnaroundPressureCreatesInteriorOptimum(t *testing.T) {
+	work := dist.MustLogNormal(1, 0.4)
+	cost := JobCost{NodeAlpha: 1, TimeWeight: 20}
+	su, _ := NewAmdahl(0.05)
+	procs := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	best, all, err := Optimize(work, cost, su, procs, bf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Procs == 1 || best.Procs == 128 {
+		t.Errorf("expected interior optimum, got p = %d (costs %v)", best.Procs, costsOf(all))
+	}
+	// The best really is the minimum of the per-p costs.
+	for _, ch := range all {
+		if ch.ExpectedCost < best.ExpectedCost-1e-9 {
+			t.Errorf("p=%d beats reported best: %g < %g", ch.Procs, ch.ExpectedCost, best.ExpectedCost)
+		}
+	}
+}
+
+// TestScaledSubproblemConsistency: at p=1 with σ(1)=1 the subproblem is
+// exactly the base problem.
+func TestScaledSubproblemConsistency(t *testing.T) {
+	work := dist.MustExponential(1)
+	cost := JobCost{NodeAlpha: 1}
+	su, _ := NewAmdahl(0.3)
+	_, all, err := Optimize(work, cost, su, []int{1}, bf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := all[0]
+	if math.Abs(ch.TimeDist.Mean()-1) > 1e-9 {
+		t.Errorf("p=1 time law mean %g, want 1", ch.TimeDist.Mean())
+	}
+	if ch.Model.Alpha != 1 || ch.Model.Beta != 0 || ch.Model.Gamma != 0 {
+		t.Errorf("p=1 model %+v", ch.Model)
+	}
+	if ch.ExpectedCost < 2.2 || ch.ExpectedCost > 2.5 {
+		t.Errorf("p=1 cost %g, want ≈2.36 (the Exp(1) optimum)", ch.ExpectedCost)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	work := dist.MustExponential(1)
+	su, _ := NewAmdahl(0)
+	if _, _, err := Optimize(nil, JobCost{NodeAlpha: 1}, su, []int{1}, bf()); err == nil {
+		t.Error("nil work accepted")
+	}
+	if _, _, err := Optimize(work, JobCost{}, su, []int{1}, bf()); err == nil {
+		t.Error("invalid cost accepted")
+	}
+	if _, _, err := Optimize(work, JobCost{NodeAlpha: 1}, su, nil, bf()); err == nil {
+		t.Error("empty proc list accepted")
+	}
+	if _, _, err := Optimize(work, JobCost{NodeAlpha: 1}, su, []int{0}, bf()); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func costsOf(all []Choice) []float64 {
+	out := make([]float64, len(all))
+	for i, c := range all {
+		out[i] = c.ExpectedCost
+	}
+	return out
+}

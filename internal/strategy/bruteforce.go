@@ -1,0 +1,221 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/optimize"
+	"repro/internal/parallel"
+	"repro/internal/simulate"
+)
+
+// EvalMode selects how a candidate sequence is scored.
+type EvalMode int
+
+const (
+	// EvalMonteCarlo scores candidates with the paper's Eq.-(13)
+	// protocol: the average cost over N sampled execution times. All
+	// candidates share one sample set drawn from the configured seed.
+	EvalMonteCarlo EvalMode = iota
+	// EvalAnalytic scores candidates with the deterministic closed form
+	// of Eq. (4) — free of Monte-Carlo noise and of the selection bias
+	// that a minimum over thousands of noisy estimates incurs.
+	EvalAnalytic
+)
+
+// String implements fmt.Stringer.
+func (e EvalMode) String() string {
+	if e == EvalAnalytic {
+		return "analytic"
+	}
+	return "monte-carlo"
+}
+
+// BruteForce is the BRUTE-FORCE procedure of §4.1: try M values of the
+// first reservation t1 equally spaced on [a, min(b, A1)], expand each
+// candidate with the Eq.-(11) recurrence, discard candidates whose
+// sequence is not strictly increasing, score the rest, and keep the
+// best.
+type BruteForce struct {
+	// M is the number of grid points (paper: 5000). Zero selects 5000.
+	M int
+	// N is the Monte-Carlo sample count (paper: 1000). Zero selects
+	// 1000. Ignored under EvalAnalytic.
+	N int
+	// Mode selects Monte-Carlo (paper protocol, default) or analytic
+	// scoring.
+	Mode EvalMode
+	// Seed drives the Monte-Carlo sample set.
+	Seed uint64
+	// TailEps is the survival level below which a recurrence breakdown
+	// is tolerated (see core.SequenceFromFirstTail). Zero selects
+	// core.DefaultTailEps; negative forces the strict rule.
+	TailEps float64
+	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Name implements Strategy.
+func (BruteForce) Name() string { return "Brute-Force" }
+
+// Candidate is one evaluated grid point of the brute-force search.
+type Candidate struct {
+	// T1 is the first reservation length.
+	T1 float64
+	// Cost is the estimated expected cost (NaN when invalid).
+	Cost float64
+	// Valid reports whether the Eq.-(11) expansion stayed strictly
+	// increasing (within the tail tolerance).
+	Valid bool
+}
+
+// SearchResult is the full outcome of a brute-force scan.
+type SearchResult struct {
+	// Best is the winning candidate.
+	Best Candidate
+	// Sequence is the winning sequence.
+	Sequence *core.Sequence
+	// Candidates holds every grid point in scan order (for Fig. 3 /
+	// Table 3 style analyses).
+	Candidates []Candidate
+}
+
+func (b BruteForce) params() (m, n int, tailEps float64) {
+	m, n, tailEps = b.M, b.N, b.TailEps
+	if m <= 0 {
+		m = 5000
+	}
+	if n <= 0 {
+		n = simulate.DefaultSamples
+	}
+	if tailEps == 0 {
+		tailEps = core.DefaultTailEps
+	} else if tailEps < 0 {
+		tailEps = 0
+	}
+	return m, n, tailEps
+}
+
+// EvaluateT1 scores a single first-reservation candidate under the
+// configured mode, returning the candidate record and its sequence.
+func (b BruteForce) EvaluateT1(m core.CostModel, d dist.Distribution, t1 float64, samples []float64) (Candidate, *core.Sequence) {
+	_, _, tailEps := b.params()
+	s := core.SequenceFromFirstTail(m, d, t1, tailEps)
+	var cost float64
+	var err error
+	if b.Mode == EvalAnalytic || samples == nil {
+		cost, err = core.ExpectedCost(m, d, s.Clone())
+	} else {
+		var est simulate.Estimate
+		est, err = simulate.CostOnSamples(m, s.Clone(), samples, 1)
+		cost = est.Mean
+	}
+	if err != nil || math.IsNaN(cost) || math.IsInf(cost, 1) {
+		return Candidate{T1: t1, Cost: math.NaN()}, nil
+	}
+	return Candidate{T1: t1, Cost: cost, Valid: true}, s
+}
+
+// Search runs the full grid scan and returns every candidate along
+// with the winner.
+func (b BruteForce) Search(m core.CostModel, d dist.Distribution) (SearchResult, error) {
+	if err := m.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	gridM, n, _ := b.params()
+	lo, _ := d.Support()
+	hi := core.BoundFirstReservation(m, d)
+	if !(hi > lo) {
+		return SearchResult{}, fmt.Errorf("strategy: degenerate search interval [%g, %g]", lo, hi)
+	}
+	var samples []float64
+	if b.Mode == EvalMonteCarlo {
+		samples = simulate.Samples(d, n, b.Seed)
+	}
+
+	cands := make([]Candidate, gridM)
+	parallel.ForEach(gridM, b.Workers, func(i int) {
+		// Paper's grid: t1 = a + m·(b-a)/M for m = 1..M.
+		t1 := lo + (hi-lo)*float64(i+1)/float64(gridM)
+		cands[i], _ = b.EvaluateT1(m, d, t1, samples)
+	})
+
+	best := Candidate{Cost: math.Inf(1)}
+	for _, c := range cands {
+		if c.Valid && c.Cost < best.Cost {
+			best = c
+		}
+	}
+	if !best.Valid {
+		return SearchResult{Candidates: cands}, errors.New("strategy: no valid brute-force candidate")
+	}
+	_, seq := b.EvaluateT1(m, d, best.T1, samples)
+	return SearchResult{Best: best, Sequence: seq, Candidates: cands}, nil
+}
+
+// Sequence implements Strategy.
+func (b BruteForce) Sequence(m core.CostModel, d dist.Distribution) (*core.Sequence, error) {
+	res, err := b.Search(m, d)
+	if err != nil {
+		return nil, err
+	}
+	return res.Sequence, nil
+}
+
+// RefinedBruteForce first scans a coarse grid, then polishes the best
+// t1 by golden-section minimization of the analytic cost between its
+// grid neighbours. It implements the "more efficient algorithms may
+// exist to search for the best t1" extension hypothesized in §5.2.
+type RefinedBruteForce struct {
+	// Coarse is the underlying grid search; its Mode should be
+	// EvalAnalytic for a meaningful refinement (golden section needs a
+	// noise-free objective). Zero-value fields default as in BruteForce.
+	Coarse BruteForce
+}
+
+// Name implements Strategy.
+func (RefinedBruteForce) Name() string { return "Refined-BF" }
+
+// Search runs the coarse scan and the golden-section polish, returning
+// the refined t1 and cost.
+func (r RefinedBruteForce) Search(m core.CostModel, d dist.Distribution) (SearchResult, error) {
+	coarse := r.Coarse
+	coarse.Mode = EvalAnalytic
+	if coarse.M == 0 {
+		coarse.M = 500
+	}
+	res, err := coarse.Search(m, d)
+	if err != nil {
+		return res, err
+	}
+	lo, _ := d.Support()
+	hi := core.BoundFirstReservation(m, d)
+	step := (hi - lo) / float64(coarse.M)
+	a := math.Max(lo, res.Best.T1-step)
+	bb := math.Min(hi, res.Best.T1+step)
+	obj := func(t1 float64) float64 {
+		c, _ := coarse.EvaluateT1(m, d, t1, nil)
+		if !c.Valid {
+			return math.Inf(1)
+		}
+		return c.Cost
+	}
+	t1 := optimize.GoldenSection(obj, a, bb, 1e-10)
+	c, seq := coarse.EvaluateT1(m, d, t1, nil)
+	if !c.Valid || c.Cost > res.Best.Cost {
+		return res, nil // keep the coarse winner
+	}
+	return SearchResult{Best: c, Sequence: seq, Candidates: res.Candidates}, nil
+}
+
+// Sequence implements Strategy.
+func (r RefinedBruteForce) Sequence(m core.CostModel, d dist.Distribution) (*core.Sequence, error) {
+	res, err := r.Search(m, d)
+	if err != nil {
+		return nil, err
+	}
+	return res.Sequence, nil
+}

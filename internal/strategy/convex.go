@@ -1,0 +1,106 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/optimize"
+	"repro/internal/parallel"
+)
+
+// ConvexBruteForce is the brute-force procedure under a general convex
+// reservation cost G (Appendix C of the paper): a grid scan over the
+// first reservation t1, each candidate expanded with the generalized
+// recurrence of Eq. (37) and scored by the Appendix-C expected cost.
+type ConvexBruteForce struct {
+	// G is the convex reservation cost.
+	G core.ConvexCost
+	// Beta scales the used duration (as in the affine model).
+	Beta float64
+	// M is the grid size (default 2000).
+	M int
+	// UpperFactor bounds the search interval as UpperFactor·E[X] above
+	// the support's low end (the Theorem-2 bound is specific to affine
+	// costs); default 10.
+	UpperFactor float64
+	// TailEps as in BruteForce (0 selects core.DefaultTailEps).
+	TailEps float64
+	// Workers bounds parallelism.
+	Workers int
+}
+
+// Name implements Strategy. Note the cost model argument of Sequence is
+// ignored: the convex cost G replaces it.
+func (ConvexBruteForce) Name() string { return "Convex-BF" }
+
+// Search scans the grid and returns the best first reservation, its
+// expected cost, and the winning sequence.
+func (b ConvexBruteForce) Search(d dist.Distribution) (t1, cost float64, seq *core.Sequence, err error) {
+	if b.G == nil {
+		return 0, 0, nil, errors.New("strategy: ConvexBruteForce needs a cost function")
+	}
+	if b.Beta < 0 || math.IsNaN(b.Beta) {
+		return 0, 0, nil, fmt.Errorf("strategy: Beta must be nonnegative, got %g", b.Beta)
+	}
+	m := b.M
+	if m <= 0 {
+		m = 2000
+	}
+	uf := b.UpperFactor
+	if uf <= 0 {
+		uf = 10
+	}
+	tailEps := b.TailEps
+	if tailEps == 0 {
+		tailEps = core.DefaultTailEps
+	} else if tailEps < 0 {
+		tailEps = 0
+	}
+	lo, hi := d.Support()
+	upper := lo + uf*d.Mean()
+	if !math.IsInf(hi, 1) {
+		upper = hi
+	}
+	if !(upper > lo) {
+		return 0, 0, nil, fmt.Errorf("strategy: degenerate convex search interval [%g, %g]", lo, upper)
+	}
+
+	costs := parallel.Map(m, b.Workers, func(i int) float64 {
+		cand := lo + (upper-lo)*float64(i+1)/float64(m)
+		s := core.SequenceFromFirstConvexTail(b.G, b.Beta, d, cand, tailEps)
+		e, err := core.ExpectedCostConvex(b.G, b.Beta, d, s)
+		if err != nil || math.IsInf(e, 1) {
+			return math.NaN()
+		}
+		return e
+	})
+	bestI := -1
+	best := math.Inf(1)
+	for i, c := range costs {
+		if !math.IsNaN(c) && c < best {
+			best, bestI = c, i
+		}
+	}
+	if bestI < 0 {
+		return 0, 0, nil, errors.New("strategy: no valid convex candidate")
+	}
+	t1 = lo + (upper-lo)*float64(bestI+1)/float64(m)
+	// Golden-section polish between the grid neighbours.
+	step := (upper - lo) / float64(m)
+	obj := func(x float64) float64 {
+		s := core.SequenceFromFirstConvexTail(b.G, b.Beta, d, x, tailEps)
+		e, err := core.ExpectedCostConvex(b.G, b.Beta, d, s)
+		if err != nil || math.IsNaN(e) {
+			return math.Inf(1)
+		}
+		return e
+	}
+	refined := optimize.GoldenSection(obj, math.Max(lo, t1-step), math.Min(upper, t1+step), 1e-10)
+	if c := obj(refined); c < best {
+		t1, best = refined, c
+	}
+	return t1, best, core.SequenceFromFirstConvexTail(b.G, b.Beta, d, t1, tailEps), nil
+}

@@ -1,0 +1,86 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func TestConvexBruteForceMatchesAffine(t *testing.T) {
+	// With G affine and β = 0, the convex search must agree with the
+	// regular brute force (same objective, same recurrence).
+	d := dist.MustExponential(1)
+	cb := ConvexBruteForce{G: core.AffineCost{Alpha: 1}, M: 2000}
+	t1, cost, seq, err := cb.Search(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == nil {
+		t.Fatal("nil sequence")
+	}
+	if math.Abs(t1-0.742) > 0.03 {
+		t.Errorf("convex t1 = %g, want ≈0.742", t1)
+	}
+	if math.Abs(cost-2.3645) > 0.01 {
+		t.Errorf("convex cost = %g, want ≈2.3645", cost)
+	}
+}
+
+func TestConvexBruteForceQuadratic(t *testing.T) {
+	// Under a quadratic premium the optimum shifts to a smaller t1 and
+	// the cost exceeds the affine one with the same linear part.
+	d := dist.MustLogNormal(0.5, 0.6)
+	affine := ConvexBruteForce{G: core.AffineCost{Alpha: 1}, M: 1500}
+	quad := ConvexBruteForce{G: core.QuadraticCost{A: 0.05, B: 1}, M: 1500}
+	t1a, ca, _, err := affine.Search(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1q, cq, seq, err := quad.Search(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cq > ca) {
+		t.Errorf("quadratic cost %g not above affine %g", cq, ca)
+	}
+	if !(t1q < t1a) {
+		t.Errorf("quadratic t1 %g not below affine %g", t1q, t1a)
+	}
+	// The winning sequence is valid and increasing.
+	v, err := seq.Prefix(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			t.Fatalf("not increasing: %v", v)
+		}
+	}
+}
+
+func TestConvexBruteForceBoundedSupport(t *testing.T) {
+	// Theorem 4 survives convexity here: for Uniform the single
+	// reservation (b) remains optimal under any convex G (paying for a
+	// longer reservation once beats paying twice).
+	d := dist.MustUniform(10, 20)
+	cb := ConvexBruteForce{G: core.QuadraticCost{A: 0.02, B: 1}, M: 1000, TailEps: -1}
+	t1, _, _, err := cb.Search(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t1-20) > 0.05 {
+		t.Errorf("uniform convex t1 = %g, want 20", t1)
+	}
+}
+
+func TestConvexBruteForceValidation(t *testing.T) {
+	d := dist.MustExponential(1)
+	if _, _, _, err := (ConvexBruteForce{}).Search(d); err == nil {
+		t.Error("nil cost function accepted")
+	}
+	if _, _, _, err := (ConvexBruteForce{G: core.AffineCost{Alpha: 1}, Beta: -1}).Search(d); err == nil {
+		t.Error("negative beta accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package strategy
+
+// Verification of the printed MEAN-BY-MEAN recursions of the paper's
+// Table 6 (Appendix B): for each distribution the paper gives a
+// recursive formula t_i = g(t_{i-1}) (often through an auxiliary
+// sequence R_i). These tests evaluate the printed formulas literally —
+// via the special-function substrate — and compare them element-wise
+// against the MeanByMean strategy, which is built on the closed-form
+// conditional expectations. Agreement proves the Appendix-B derivations
+// and our implementation coincide.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/specfun"
+)
+
+// meanByMeanPrefix materializes the first n reservations of the
+// MEAN-BY-MEAN sequence for d.
+func meanByMeanPrefix(t *testing.T, d dist.Distribution, n int) []float64 {
+	t.Helper()
+	s, err := MeanByMean{}.Sequence(core.ReservationOnly, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Prefix(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func elementwiseClose(t *testing.T, name string, got, want []float64, tol float64) {
+	t.Helper()
+	for i := range want {
+		if i >= len(got) {
+			t.Fatalf("%s: sequence too short (%d < %d)", name, len(got), len(want))
+		}
+		if math.Abs(got[i]-want[i]) > tol*math.Max(1, math.Abs(want[i])) {
+			t.Errorf("%s: t_%d = %.10g, Table-6 formula gives %.10g", name, i+1, got[i], want[i])
+		}
+	}
+}
+
+// TestTable6Weibull: t_i = λ·R_i with R_1 = Γ(1+1/κ) and
+// R_i = e^{R_{i-1}^κ}·Γ(1+1/κ, R_{i-1}^κ).
+func TestTable6Weibull(t *testing.T) {
+	lambda, kappa := 1.0, 0.5
+	n := 5
+	want := make([]float64, n)
+	r := math.Gamma(1 + 1/kappa)
+	want[0] = lambda * r
+	for i := 1; i < n; i++ {
+		x := math.Pow(r, kappa)
+		r = specfun.UpperIncGammaScaled(1+1/kappa, x) // e^x·Γ(1+1/κ, x)
+		want[i] = lambda * r
+	}
+	got := meanByMeanPrefix(t, dist.MustWeibull(lambda, kappa), n)
+	elementwiseClose(t, "Weibull", got, want, 1e-9)
+}
+
+// TestTable6Gamma: t_i = R_i/β with R_1 = α and
+// R_i = α + R_{i-1}^α·e^{-R_{i-1}} / Γ(α, R_{i-1}).
+func TestTable6Gamma(t *testing.T) {
+	alpha, beta := 2.0, 2.0
+	n := 5
+	want := make([]float64, n)
+	r := alpha
+	want[0] = r / beta
+	for i := 1; i < n; i++ {
+		r = alpha + math.Pow(r, alpha)*math.Exp(-r)/specfun.UpperIncGamma(alpha, r)
+		want[i] = r / beta
+	}
+	got := meanByMeanPrefix(t, dist.MustGamma(alpha, beta), n)
+	elementwiseClose(t, "Gamma", got, want, 1e-9)
+}
+
+// TestTable6LogNormal: t_i = e^{μ+σ²/2}·R_i with R_1 = 1 and
+// R_i = (1 + erf((σ²-2·ln R_{i-1})/(2√2σ))) / (1 - erf((σ²+2·ln R_{i-1})/(2√2σ))).
+//
+// Note: the paper's printed denominator argument (σ²+2·ln R)/(2√2σ)
+// matches E[X|X>τ] with τ = e^{μ+σ²/2}·R, i.e. ln τ - μ = σ²/2 + ln R.
+func TestTable6LogNormal(t *testing.T) {
+	mu, sigma := 3.0, 0.5
+	n := 5
+	want := make([]float64, n)
+	scale := math.Exp(mu + sigma*sigma/2)
+	r := 1.0
+	want[0] = scale * r
+	for i := 1; i < n; i++ {
+		num := 1 + math.Erf((sigma*sigma-2*math.Log(r))/(2*math.Sqrt2*sigma))
+		den := 1 - math.Erf((sigma*sigma+2*math.Log(r))/(2*math.Sqrt2*sigma))
+		r = num / den
+		want[i] = scale * r
+	}
+	got := meanByMeanPrefix(t, dist.MustLogNormal(mu, sigma), n)
+	elementwiseClose(t, "LogNormal", got, want, 1e-9)
+}
+
+// TestTable6Pareto: t_1 = αν/(α-1), t_i = α·t_{i-1}/(α-1).
+func TestTable6Pareto(t *testing.T) {
+	nu, alpha := 1.5, 3.0
+	n := 6
+	want := make([]float64, n)
+	want[0] = alpha * nu / (alpha - 1)
+	for i := 1; i < n; i++ {
+		want[i] = alpha / (alpha - 1) * want[i-1]
+	}
+	got := meanByMeanPrefix(t, dist.MustPareto(nu, alpha), n)
+	elementwiseClose(t, "Pareto", got, want, 1e-12)
+}
+
+// TestTable6Uniform: t_1 = (a+b)/2, t_i = (t_{i-1}+b)/2, closing at b.
+func TestTable6Uniform(t *testing.T) {
+	a, b := 10.0, 20.0
+	n := 6
+	want := make([]float64, n)
+	want[0] = (a + b) / 2
+	for i := 1; i < n; i++ {
+		want[i] = (want[i-1] + b) / 2
+	}
+	got := meanByMeanPrefix(t, dist.MustUniform(a, b), n)
+	elementwiseClose(t, "Uniform", got, want, 1e-12)
+}
+
+// TestTable6Beta: t_i = (B(α+1,β) - B(t_{i-1}; α+1,β)) /
+// (B(α,β) - B(t_{i-1}; α,β)), t_1 = α/(α+β).
+func TestTable6Beta(t *testing.T) {
+	alpha, beta := 2.0, 2.0
+	n := 5
+	want := make([]float64, n)
+	want[0] = alpha / (alpha + beta)
+	for i := 1; i < n; i++ {
+		tau := want[i-1]
+		num := specfun.IncBeta(alpha+1, beta, 1) - specfun.IncBeta(alpha+1, beta, tau)
+		den := specfun.IncBeta(alpha, beta, 1) - specfun.IncBeta(alpha, beta, tau)
+		want[i] = num / den
+	}
+	got := meanByMeanPrefix(t, dist.MustBeta(alpha, beta), n)
+	elementwiseClose(t, "Beta", got, want, 1e-9)
+}
+
+// TestTable6BoundedPareto: t_1 = α/(α-1)·(H^{1-α}-L^{1-α})/(H^{-α}-L^{-α}),
+// t_i = α/(α-1)·(H^{1-α}-t_{i-1}^{1-α})/(H^{-α}-t_{i-1}^{-α}).
+func TestTable6BoundedPareto(t *testing.T) {
+	L, H, alpha := 1.0, 20.0, 2.1
+	n := 5
+	want := make([]float64, n)
+	f := func(tau float64) float64 {
+		return alpha / (alpha - 1) *
+			(math.Pow(H, 1-alpha) - math.Pow(tau, 1-alpha)) /
+			(math.Pow(H, -alpha) - math.Pow(tau, -alpha))
+	}
+	want[0] = f(L)
+	for i := 1; i < n; i++ {
+		want[i] = f(want[i-1])
+	}
+	got := meanByMeanPrefix(t, dist.MustBoundedPareto(L, H, alpha), n)
+	elementwiseClose(t, "BoundedPareto", got, want, 1e-9)
+}
+
+// TestTable6TruncatedNormal: t_i = μ + σ·√(2/π)·R_i with
+// R_1 = e^{-(a-μ)²/(2σ²)} / (1 - erf((a-μ)/(σ√2))) and
+// R_i = e^{-R_{i-1}²/π} / (1 - erf(R_{i-1}/√π)).
+func TestTable6TruncatedNormal(t *testing.T) {
+	mu, sigma, a := 8.0, 1.4142135623730951, 0.0
+	n := 5
+	want := make([]float64, n)
+	alpha0 := (a - mu) / sigma
+	r := math.Exp(-0.5*alpha0*alpha0) / (1 - math.Erf(alpha0/math.Sqrt2))
+	want[0] = mu + sigma*math.Sqrt(2/math.Pi)*r
+	for i := 1; i < n; i++ {
+		r = math.Exp(-r*r/math.Pi) / (1 - math.Erf(r/math.Sqrt(math.Pi)))
+		want[i] = mu + sigma*math.Sqrt(2/math.Pi)*r
+	}
+	got := meanByMeanPrefix(t, dist.MustTruncatedNormal(mu, sigma, a), n)
+	elementwiseClose(t, "TruncatedNormal", got, want, 1e-9)
+}
+
+// TestTable6Exponential: the memoryless law t_i = t_{i-1} + 1/λ.
+func TestTable6Exponential(t *testing.T) {
+	lambda := 1.0
+	got := meanByMeanPrefix(t, dist.MustExponential(lambda), 6)
+	for i, v := range got {
+		want := float64(i+1) / lambda
+		if math.Abs(v-want) > 1e-12 {
+			t.Errorf("Exponential t_%d = %g, want %g", i+1, v, want)
+		}
+	}
+}

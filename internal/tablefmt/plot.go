@@ -1,0 +1,83 @@
+package tablefmt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders an ASCII scatter/line plot of (x, y) points into a
+// width×height character grid — enough to eyeball the Fig.-3 curves in
+// a terminal. NaN y values are gaps (the invalid-candidate regions of
+// the paper's plots). Returns "" when no finite point exists.
+func Plot(title string, xs, ys []float64, width, height int) string {
+	if width < 10 {
+		width = 60
+	}
+	if height < 4 {
+		height = 12
+	}
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return ""
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	finite := 0
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			continue
+		}
+		finite++
+		xMin = math.Min(xMin, xs[i])
+		xMax = math.Max(xMax, xs[i])
+		yMin = math.Min(yMin, ys[i])
+		yMax = math.Max(yMax, ys[i])
+	}
+	if finite == 0 {
+		return ""
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			continue
+		}
+		c := int((xs[i] - xMin) / (xMax - xMin) * float64(width-1))
+		r := height - 1 - int((ys[i]-yMin)/(yMax-yMin)*float64(height-1))
+		grid[r][c] = '*'
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%-8.3g", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%-8.3g", yMin)
+		}
+		b.WriteString(label)
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 8))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	b.WriteString(fmt.Sprintf("%9s%-*.4g%*.4g\n", "", width/2, xMin, width-width/2, xMax))
+	return b.String()
+}

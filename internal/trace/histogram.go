@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binning of a trace, used by cmd/tracefit
+// to visualize execution-time distributions (the bar views of Fig. 1).
+type Histogram struct {
+	// Edges has len(Counts)+1 entries; bin i covers
+	// [Edges[i], Edges[i+1]).
+	Edges []float64
+	// Counts holds the per-bin sample counts.
+	Counts []int
+	// N is the total number of samples.
+	N int
+}
+
+// NewHistogram bins the samples into the given number of equal-width
+// bins spanning [min, max].
+func NewHistogram(samples []float64, bins int) (*Histogram, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("trace: histogram needs samples")
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("trace: histogram needs at least 1 bin, got %d", bins)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("trace: histogram sample %g is not finite", s)
+		}
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if lo == hi {
+		hi = lo + 1 // degenerate trace: one wide bin
+	}
+	h := &Histogram{
+		Edges:  make([]float64, bins+1),
+		Counts: make([]int, bins),
+		N:      len(samples),
+	}
+	for i := range h.Edges {
+		h.Edges[i] = lo + (hi-lo)*float64(i)/float64(bins)
+	}
+	w := (hi - lo) / float64(bins)
+	for _, s := range samples {
+		i := int((s - lo) / w)
+		if i >= bins {
+			i = bins - 1 // the max sample belongs to the last bin
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Mode returns the midpoint of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best, arg := -1, 0
+	for i, c := range h.Counts {
+		if c > best {
+			best, arg = c, i
+		}
+	}
+	return 0.5 * (h.Edges[arg] + h.Edges[arg+1])
+}
+
+// Render draws a text histogram with bars scaled to the given width.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 50
+	}
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&b, "%10.4g - %-10.4g %6d %s\n", h.Edges[i], h.Edges[i+1], c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramCountsSum(t *testing.T) {
+	samples := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 9.9, 10}
+	h, err := NewHistogram(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(samples) || h.N != len(samples) {
+		t.Errorf("counts sum %d, N %d, want %d", total, h.N, len(samples))
+	}
+	if h.Edges[0] != 1 || h.Edges[len(h.Edges)-1] != 10 {
+		t.Errorf("edges [%g, %g]", h.Edges[0], h.Edges[len(h.Edges)-1])
+	}
+	// Bin width 3: [1,4) has 6, [4,7) has 1 (the 4), [7,10] has 2.
+	if h.Counts[0] != 6 || h.Counts[1] != 1 || h.Counts[2] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramMaxSampleInLastBin(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[4] != 1 {
+		t.Errorf("max sample not in last bin: %v", h.Counts)
+	}
+}
+
+func TestHistogramModeOfTrace(t *testing.T) {
+	samples, err := GenerateRunTrace(VBMQA, 5000, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHistogram(samples, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LogNormal mode = e^{μ-σ²} ≈ 1178 s for VBMQA.
+	want := math.Exp(VBMQA.Mu - VBMQA.Sigma*VBMQA.Sigma)
+	if math.Abs(h.Mode()-want) > 0.15*want {
+		t.Errorf("mode %g, want ≈%g", h.Mode(), want)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("degenerate counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram([]float64{math.NaN()}, 3); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 2, 3, 3, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render(30)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// The fullest bin has the longest bar.
+	if !strings.Contains(lines[2], strings.Repeat("#", 30)) {
+		t.Errorf("fullest bin bar wrong:\n%s", out)
+	}
+	if h.Render(0) == "" {
+		t.Error("default width render empty")
+	}
+}

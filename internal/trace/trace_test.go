@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestGenerateRunTraceAndFit(t *testing.T) {
+	// The full Fig.-1 pipeline: generate a synthetic trace, fit a
+	// LogNormal, recover the published parameters.
+	for _, app := range []Application{VBMQA, FMRIQA} {
+		samples, err := GenerateRunTrace(app, 5000, 0.01, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit, err := dist.FitLogNormal(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Mu()-app.Mu) > 0.02 {
+			t.Errorf("%s: fitted μ = %g, want %g", app.Name, fit.Mu(), app.Mu)
+		}
+		if math.Abs(fit.Sigma()-app.Sigma) > 0.02 {
+			t.Errorf("%s: fitted σ = %g, want %g", app.Name, fit.Sigma(), app.Sigma)
+		}
+		// Goodness of fit: KS statistic against the fitted law is small.
+		if ks := dist.KSStatistic(samples, fit); ks > 0.03 {
+			t.Errorf("%s: KS = %g", app.Name, ks)
+		}
+	}
+}
+
+func TestVBMQAMomentsMatchPaper(t *testing.T) {
+	// §5.3: the VBMQA fit gives mean ≈ 1253.37 s and sd ≈ 258.261 s.
+	d := VBMQA.Distribution()
+	if math.Abs(d.Mean()-1253.37) > 1 {
+		t.Errorf("VBMQA mean = %g s, want ≈1253.37", d.Mean())
+	}
+	if math.Abs(dist.StdDev(d)-258.261) > 1 {
+		t.Errorf("VBMQA sd = %g s, want ≈258.261", dist.StdDev(d))
+	}
+}
+
+func TestGenerateRunTraceValidation(t *testing.T) {
+	if _, err := GenerateRunTrace(VBMQA, 1, 0, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := GenerateRunTrace(VBMQA, 10, 0.9, 1); err == nil {
+		t.Error("jitter=0.9 accepted")
+	}
+	a, _ := GenerateRunTrace(VBMQA, 100, 0.01, 7)
+	b, _ := GenerateRunTrace(VBMQA, 100, 0.01, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace generation not deterministic")
+		}
+	}
+}
+
+func TestFitAffineExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept, err := FitAffine(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-3) > 1e-12 {
+		t.Errorf("fit = %g x + %g, want 2x + 3", slope, intercept)
+	}
+}
+
+func TestFitAffineValidation(t *testing.T) {
+	if _, _, err := FitAffine([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := FitAffine([]float64{1, 2}, []float64{2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := FitAffine([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestWaitTimeLogPipeline(t *testing.T) {
+	// The full Fig.-2 pipeline: generate the 20-group log, fit the
+	// affine law, recover (α, γ) within noise.
+	log, err := GenerateWaitTimeLog(Intrepid409, 20, 600, 72000, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 20 {
+		t.Fatalf("got %d groups", len(log))
+	}
+	fit, err := FitWaitTimeModel(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-Intrepid409.Alpha) > 0.1 {
+		t.Errorf("fitted α = %g, want ≈%g", fit.Alpha, Intrepid409.Alpha)
+	}
+	if math.Abs(fit.Gamma-Intrepid409.Gamma) > 0.25*Intrepid409.Gamma {
+		t.Errorf("fitted γ = %g, want ≈%g", fit.Gamma, Intrepid409.Gamma)
+	}
+}
+
+func TestWaitTimeLogValidation(t *testing.T) {
+	if _, err := GenerateWaitTimeLog(Intrepid409, 1, 600, 72000, 0, 1); err == nil {
+		t.Error("groups=1 accepted")
+	}
+	if _, err := GenerateWaitTimeLog(Intrepid409, 20, -1, 72000, 0, 1); err == nil {
+		t.Error("negative minReq accepted")
+	}
+	if _, err := GenerateWaitTimeLog(Intrepid409, 20, 600, 500, 0, 1); err == nil {
+		t.Error("maxReq < minReq accepted")
+	}
+	if _, err := GenerateWaitTimeLog(Intrepid409, 20, 600, 72000, 2, 1); err == nil {
+		t.Error("noise=2 accepted")
+	}
+}
+
+func TestNoiselessWaitLogFitsExactly(t *testing.T) {
+	log, err := GenerateWaitTimeLog(Intrepid409, 10, 1000, 50000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitWaitTimeModel(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-0.95) > 1e-9 || math.Abs(fit.Gamma-3771.84) > 1e-6 {
+		t.Errorf("noiseless fit = %+v", fit)
+	}
+}

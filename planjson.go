@@ -1,0 +1,40 @@
+package repro
+
+import "encoding/json"
+
+// PlanSummary is the machine-readable form of a Plan, as emitted by
+// Plan.JSON and `reserve -json`.
+type PlanSummary struct {
+	// Strategy is the strategy name the plan was built with.
+	Strategy string `json:"strategy"`
+	// CostModel holds the α, β, γ parameters.
+	CostModel struct {
+		Alpha float64 `json:"alpha"`
+		Beta  float64 `json:"beta"`
+		Gamma float64 `json:"gamma"`
+	} `json:"cost_model"`
+	// Reservations is the materialized prefix of the sequence.
+	Reservations []float64 `json:"reservations"`
+	// ExpectedCost is the exact Eq.-(4) expected cost.
+	ExpectedCost float64 `json:"expected_cost"`
+	// NormalizedCost is ExpectedCost over the omniscient cost.
+	NormalizedCost float64 `json:"normalized_cost"`
+}
+
+// Summary returns the machine-readable form of the plan.
+func (p *Plan) Summary() PlanSummary {
+	var s PlanSummary
+	s.Strategy = p.Strategy
+	s.CostModel.Alpha = p.model.Alpha
+	s.CostModel.Beta = p.model.Beta
+	s.CostModel.Gamma = p.model.Gamma
+	s.Reservations = append([]float64(nil), p.Reservations...)
+	s.ExpectedCost = p.ExpectedCost
+	s.NormalizedCost = p.NormalizedCost
+	return s
+}
+
+// JSON renders the plan summary as indented JSON.
+func (p *Plan) JSON() ([]byte, error) {
+	return json.MarshalIndent(p.Summary(), "", "  ")
+}

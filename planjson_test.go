@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	d, _ := Gamma(2, 2)
+	p, err := MakePlan(CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.3}, d, StrategyMeanDoubling, Options{PreviewLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PlanSummary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Strategy != StrategyMeanDoubling {
+		t.Errorf("strategy = %q", back.Strategy)
+	}
+	if back.CostModel.Alpha != 1 || back.CostModel.Beta != 0.5 || back.CostModel.Gamma != 0.3 {
+		t.Errorf("cost model = %+v", back.CostModel)
+	}
+	if len(back.Reservations) != 4 {
+		t.Errorf("%d reservations", len(back.Reservations))
+	}
+	if math.Abs(back.ExpectedCost-p.ExpectedCost) > 1e-12 {
+		t.Errorf("expected cost %g vs %g", back.ExpectedCost, p.ExpectedCost)
+	}
+	if math.Abs(back.NormalizedCost-p.NormalizedCost) > 1e-12 {
+		t.Errorf("normalized %g vs %g", back.NormalizedCost, p.NormalizedCost)
+	}
+}
+
+func TestPlanSummaryCopiesReservations(t *testing.T) {
+	d, _ := Exponential(1)
+	p, err := MakePlan(ReservationOnly, d, StrategyMeanByMean, Options{PreviewLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Summary()
+	s.Reservations[0] = -1
+	if p.Reservations[0] == -1 {
+		t.Error("Summary aliases the plan's reservations")
+	}
+}
