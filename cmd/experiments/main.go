@@ -79,8 +79,11 @@ func runAll(cfg experiments.Config, which, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return t.WriteCSV(f)
+		if err := t.WriteCSV(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
 	}
 
 	any := false
@@ -138,10 +141,12 @@ func runAll(cfg experiments.Config, which, csvDir string) error {
 					return err
 				}
 				if err := t.WriteCSV(f); err != nil {
-					f.Close()
+					_ = f.Close()
 					return err
 				}
-				f.Close()
+				if err := f.Close(); err != nil {
+					return err
+				}
 			}
 			fmt.Printf("Fig. 3 (%s): %d candidates, best t1 = %.4g\n",
 				s.Distribution, len(s.T1), s.BestT1)

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const fixtureDir = "../../internal/analysis/testdata/src/floatcmp"
+
+func TestRunTextOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{fixtureDir}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has known findings); stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[floatcmp]") {
+		t.Fatalf("text output missing [floatcmp] tag:\n%s", out.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if parts := strings.SplitN(line, ":", 4); len(parts) != 4 {
+			t.Errorf("line not in file:line:col: message form: %q", line)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", fixtureDir}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb.String())
+	}
+	sc := bufio.NewScanner(&out)
+	n := 0
+	for sc.Scan() {
+		n++
+		var d struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("line %d is not a JSON diagnostic: %v\n%s", n, err, sc.Text())
+		}
+		if d.File == "" || d.Line == 0 || d.Rule != "floatcmp" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	if n == 0 {
+		t.Fatal("JSON mode produced no diagnostics for a fixture with known findings")
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"../../internal/rng"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0 for a clean package; output:\n%s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean package produced output:\n%s", out.String())
+	}
+}
+
+func TestRunRuleSubset(t *testing.T) {
+	var out, errb bytes.Buffer
+	// The floatcmp fixture is clean under every other rule.
+	if code := run([]string{"-rules", "maporder,synccheck", fixtureDir}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestRunUnknownRule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule", fixtureDir}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for unknown rule", code)
+	}
+	if !strings.Contains(errb.String(), "nosuchrule") {
+		t.Fatalf("stderr does not name the unknown rule: %s", errb.String())
+	}
+}
+
+func TestRunListRules(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, rule := range []string{"floatcmp", "rngdiscipline", "maporder", "errcheck-lite", "synccheck"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing rule %s:\n%s", rule, out.String())
+		}
+	}
+}

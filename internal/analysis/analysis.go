@@ -1,0 +1,171 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework for this repository. It loads and type-checks packages with
+// the standard library's go/parser and go/types (no golang.org/x/tools;
+// the module is built offline) and runs a suite of repo-specific
+// analyzers that guard the invariants the paper reproduction depends
+// on: bit-for-bit numerical determinism, seeded RNG discipline,
+// deterministic output ordering, checked errors on output paths, and
+// concurrency hygiene in the parallel Monte-Carlo substrate.
+//
+// Diagnostics are reported as "file:line:col: [rule] message". A
+// finding can be suppressed by placing a
+//
+//	//lint:ignore <rule> <reason>
+//
+// comment on the offending line or on the line directly above it; the
+// reason is mandatory so suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named rule. Run inspects the package held by the
+// Pass and reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and in
+	// lint:ignore comments.
+	Name string
+	// Doc is a one-line description of what the rule enforces.
+	Doc string
+	// Run executes the rule against one type-checked package.
+	Run func(*Pass)
+}
+
+// A Diagnostic is a single finding at a resolved source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos under the running analyzer's rule
+// name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		RNGDiscipline,
+		MapOrder,
+		ErrCheck,
+		SyncCheck,
+	}
+}
+
+// Run executes every analyzer against the package and returns the
+// surviving diagnostics sorted by position. Findings suppressed by
+// lint:ignore comments are dropped.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = filterIgnored(pkg, diags)
+	seen := make(map[Diagnostic]bool, len(diags))
+	uniq := diags[:0]
+	for _, d := range diags {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	diags = uniq
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignoreKey identifies one suppressed (file, line, rule) site.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+// filterIgnored drops diagnostics covered by a "//lint:ignore <rule>
+// <reason>" comment on the same line or the line immediately above.
+// The wildcard rule "*" suppresses every rule at that site.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore ") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
+				if len(fields) < 2 {
+					// No reason given: the suppression is invalid and
+					// intentionally has no effect.
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ignored[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
+			ignored[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}] ||
+			ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, "*"}] ||
+			ignored[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, "*"}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

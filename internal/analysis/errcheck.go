@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is a lite checked-errors rule focused on the failure modes
+// that matter for a results-producing tool: a dropped write error means
+// a silently truncated CSV or results file that then poisons every
+// downstream comparison. It flags
+//
+//   - expression statements that discard an error result, and
+//   - "defer f.Close()" where f was opened for writing in the same
+//     function (os.Create / os.OpenFile): Close is where buffered
+//     write failures surface, so it must be checked on the main path.
+//
+// Deliberate discards stay available two ways: assign to blank
+// ("_ = w.Flush()") or annotate with lint:ignore. fmt printing to
+// stdout/stderr and the never-failing strings.Builder / bytes.Buffer
+// writers are allowed.
+var ErrCheck = &Analyzer{
+	Name: "errcheck-lite",
+	Doc:  "flags discarded error returns and deferred Close on writable files",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Files {
+		writable := writableFiles(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok || !lastResultIsError(p.Info, call) {
+					return true
+				}
+				if allowedDiscard(p.Info, call) {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"error return discarded; handle it or assign to _ explicitly")
+			case *ast.DeferStmt:
+				checkDeferredClose(p, s, writable)
+			}
+			return true
+		})
+	}
+}
+
+// allowedDiscard reports whether the call's error is conventionally
+// ignorable: fmt's Print/Fprint family (per-call handling of stdout
+// failures is not actionable here) and methods on the never-failing
+// in-memory writers.
+func allowedDiscard(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeOf(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() == "fmt" && hasPrintPrefix(obj.Name()) {
+		return true
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			tn := named.Obj()
+			if tn.Pkg() != nil {
+				switch tn.Pkg().Path() + "." + tn.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// writableFiles collects objects assigned from os.Create or os.OpenFile
+// anywhere in the file (closures included): those are the handles whose
+// Close result carries write errors.
+func writableFiles(p *Pass, f *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeOf(p.Info, call)
+		if !isPkgFunc(obj, "os", "Create") && !isPkgFunc(obj, "os", "OpenFile") {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			if def := p.Info.Defs[id]; def != nil {
+				out[def] = true
+			} else if use := p.Info.Uses[id]; use != nil {
+				out[use] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkDeferredClose flags "defer f.Close()" when f is a writable file
+// handle from this file.
+func checkDeferredClose(p *Pass, d *ast.DeferStmt, writable map[types.Object]bool) {
+	sel, ok := ast.Unparen(d.Call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(d.Call.Args) != 0 {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if writable[p.Info.Uses[id]] {
+		p.Reportf(d.Pos(),
+			"defer %s.Close() on a file opened for writing discards the flush error; close explicitly and check it", id.Name)
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands. Exact
+// float equality silently breaks the analytic/Monte-Carlo cross-checks:
+// two mathematically equal expected values computed along different
+// paths differ in their last ulps, so equality tests must go through an
+// explicit tolerance. Allowed idioms:
+//
+//   - comparison against the exact constants 0 or 1. These are the
+//     repository's domain sentinels: probabilities and CDF values are
+//     clamped to exact endpoints (clampP), and shape parameters take
+//     closed forms at exactly 0 and 1, so "p == 1" tests a value that
+//     was assigned, not computed.
+//   - x != x and x == x (the NaN test; prefer math.IsNaN, but the
+//     idiom is well-defined)
+//   - comparisons where both operands are compile-time constants
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags == / != on floating-point operands outside guarded idioms",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, okx := p.Info.Types[be.X]
+			ty, oky := p.Info.Types[be.Y]
+			if !okx || !oky || (!isFloat(tx.Type) && !isFloat(ty.Type)) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant-folded: exact by construction
+			}
+			if isSentinelConst(tx) || isSentinelConst(ty) {
+				return true // exact 0/1 domain sentinel
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // NaN self-comparison idiom
+			}
+			p.Reportf(be.OpPos,
+				"floating-point %s comparison; use an epsilon (math.Abs(a-b) <= tol) or restructure around a sentinel", be.Op)
+			return true
+		})
+	}
+}
+
+// isSentinelConst reports whether the operand is the compile-time
+// constant 0 or 1 (0, 0.0, -0.0, 1, 1.0, or a named constant with one
+// of those values).
+func isSentinelConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	return constant.Sign(v) == 0 || constant.Compare(v, token.EQL, constant.MakeFloat64(1))
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags range-over-map loops whose bodies produce ordered
+// output: Go randomizes map iteration, so anything written, appended,
+// or tabulated inside such a loop comes out in a different order every
+// run — the exact bug class that corrupts golden results files and
+// table diffs. Flagged loop bodies:
+//
+//   - fmt print calls or Write/WriteString-style method calls,
+//   - appends to a slice declared outside the loop, unless the slice
+//     is sorted by a sort.* / slices.Sort* call later in the same
+//     block (the collect-then-sort idiom is the sanctioned fix),
+//   - any call into internal/tablefmt (tables are ordered artifacts).
+//
+// Pure reductions (sums, max, counting into another map) are
+// order-insensitive and not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags ordered output produced while ranging over a map",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				stmts = b.List
+			case *ast.CaseClause:
+				stmts = b.Body
+			case *ast.CommClause:
+				stmts = b.Body
+			default:
+				return true
+			}
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := p.Info.Types[rs.X]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					checkMapRangeBody(p, rs, stmts[i+1:])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// writerMethodNames are method names treated as ordered-output sinks.
+var writerMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeOf(p.Info, e)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "fmt" && hasPrintPrefix(obj.Name()):
+				p.Reportf(e.Pos(),
+					"%s.%s inside range over map: iteration order is random per run; collect and sort keys first", obj.Pkg().Name(), obj.Name())
+			case pathMatches(obj.Pkg().Path(), "internal/tablefmt"):
+				p.Reportf(e.Pos(),
+					"tablefmt call inside range over map: table rows would be in random order; sort keys first")
+			case isMethodCall(p.Info, e) && writerMethodNames[obj.Name()]:
+				p.Reportf(e.Pos(),
+					"%s call inside range over map emits output in random order; collect and sort keys first", obj.Name())
+			}
+		case *ast.AssignStmt:
+			checkAppendInMapRange(p, rs, e, rest)
+		}
+		return true
+	})
+}
+
+// hasPrintPrefix matches fmt's printing functions (Print*, Fprint*,
+// Sprint* excluded: building a string is only a problem if it escapes,
+// which the append/Write rules catch).
+func hasPrintPrefix(name string) bool {
+	return hasPrefix(name, "Print") || hasPrefix(name, "Fprint")
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+// isMethodCall reports whether the call has a receiver.
+func isMethodCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := info.Selections[sel]
+	return s != nil && s.Kind() == types.MethodVal
+}
+
+// checkAppendInMapRange flags "out = append(out, …)" where out is
+// declared before the loop, unless a later statement in the enclosing
+// block sorts out.
+func checkAppendInMapRange(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, rest []ast.Stmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p.Info, call) {
+			continue
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			continue
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj == nil || obj.Pos() >= rs.Pos() {
+			continue // loop-local scratch; cannot leak order on its own
+		}
+		if sortedLater(p, obj, rest) {
+			continue // collect-then-sort idiom
+		}
+		p.Reportf(as.Pos(),
+			"append to %s while ranging over a map accumulates in random order; sort %s afterwards or iterate sorted keys", obj.Name(), obj.Name())
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether any statement after the loop in the same
+// block passes obj to a sort.* or slices.* call.
+func sortedLater(p *Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if pkg := callee.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

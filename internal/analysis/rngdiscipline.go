@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// RNGDiscipline enforces the repository's deterministic-replay
+// invariant: every random draw must come from a seeded internal/rng
+// stream so any experiment reruns bit-for-bit. It flags
+//
+//   - imports of math/rand or math/rand/v2 (globally seeded, not
+//     replayable per stream),
+//   - calls to time.Now (wall-clock values leak nondeterminism into
+//     seeds and output),
+//   - rng.New / rng.Split whose seed argument is derived from a
+//     function call (seeds must be literals, constants, or plumbed-in
+//     values; conversions like uint64(seed) are fine), and
+//   - composite-literal construction of rng.Source (the zero value is
+//     unusable; streams come only from the New/Split factories).
+var RNGDiscipline = &Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "flags math/rand, time.Now seeds, and rng streams built outside the seeded factories",
+	Run:  runRNGDiscipline,
+}
+
+// rngPkgSuffix matches the module's RNG package in both the real tree
+// and testdata fixtures.
+const rngPkgSuffix = "internal/rng"
+
+func runRNGDiscipline(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(),
+					"import of %s: use the seeded streams from internal/rng so runs replay deterministically", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				obj := calleeOf(p.Info, e)
+				if isPkgFunc(obj, "time", "Now") {
+					p.Reportf(e.Pos(),
+						"time.Now is nondeterministic; thread a seed or timestamp in from the caller")
+					return true
+				}
+				if obj != nil && obj.Pkg() != nil && pathMatches(obj.Pkg().Path(), rngPkgSuffix) &&
+					(obj.Name() == "New" || obj.Name() == "Split") && len(e.Args) > 0 {
+					checkSeedExpr(p, obj.Name(), e.Args[0])
+				}
+			case *ast.CompositeLit:
+				if tv, ok := p.Info.Types[e]; ok && isRNGSourceType(tv.Type) {
+					p.Reportf(e.Pos(),
+						"rng.Source composite literal: streams must come from rng.New or rng.Split")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSeedExpr reports any non-conversion call feeding the seed of
+// rng.New/rng.Split: a computed seed is where wall clocks and global
+// RNGs sneak in, so seeds must be data, not effects.
+func checkSeedExpr(p *Pass, fact string, seed ast.Expr) {
+	ast.Inspect(seed, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || isConversion(p.Info, call) {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"seed of rng.%s computed by a function call; pass an explicit seed value instead", fact)
+		return false
+	})
+}
+
+// isRNGSourceType reports whether t (possibly behind a pointer) is
+// internal/rng.Source.
+func isRNGSourceType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil && pathMatches(obj.Pkg().Path(), rngPkgSuffix)
+}

@@ -1,0 +1,75 @@
+// Package errcheck is a golden-file fixture for the errcheck-lite
+// analyzer.
+package errcheck
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func flush(w *bufio.Writer) {
+	w.Flush() // want `error return discarded`
+}
+
+func writeResults(path string, rows []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) on a file opened for writing`
+	for _, r := range rows {
+		fmt.Fprintln(f, r)
+	}
+	return nil
+}
+
+func appendLog(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) on a file opened for writing`
+	return nil
+}
+
+// The discards below are sanctioned and must NOT be flagged.
+
+func sanctioned(path string) error {
+	fmt.Println("stdout chatter is fine")
+	fmt.Fprintf(os.Stderr, "so is stderr\n")
+
+	var sb strings.Builder
+	sb.WriteString("in-memory writers never fail")
+	var buf bytes.Buffer
+	buf.WriteString("neither does bytes.Buffer")
+
+	f, err := os.Open(path) // read-only: Close carries no write error
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w := bufio.NewWriter(os.Stdout)
+	_ = w.Flush() // explicit blank assignment acknowledges the discard
+
+	//lint:ignore errcheck-lite fixture exercises the escape hatch
+	w.Flush()
+	return nil
+}
+
+func checked(path string, rows []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(f, r); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,60 @@
+// Package floatcmp is a golden-file fixture for the floatcmp analyzer.
+package floatcmp
+
+import "math"
+
+const tol = 1e-9
+
+func compare(a, b float64, xs []float64) int {
+	if a == b { // want `floating-point == comparison`
+		return 0
+	}
+	if a != b+1 { // want `floating-point != comparison`
+		return 1
+	}
+	if xs[0] == a*b { // want `floating-point == comparison`
+		return 2
+	}
+	return 3
+}
+
+func mixedWidth(f32 float32, f64 float64) bool {
+	return float64(f32) == f64 // want `floating-point == comparison`
+}
+
+// Guarded idioms below must NOT be flagged.
+
+func guards(a, b float64) int {
+	if a == 0 { // zero sentinel
+		return 0
+	}
+	if b != 0 { // zero sentinel, mirrored
+		return 1
+	}
+	if a == 1 { // clamped-domain sentinel
+		return 2
+	}
+	if a != a { // NaN idiom
+		return 3
+	}
+	if math.IsNaN(b) {
+		return 4
+	}
+	if math.Abs(a-b) <= tol { // the sanctioned comparison
+		return 5
+	}
+	const half = 0.5
+	if half == 0.25*2 { // both operands constant
+		return 6
+	}
+	return 7
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture exercises the escape hatch
+	return a == b
+}
+
+func intsAreFine(i, j int) bool {
+	return i == j
+}

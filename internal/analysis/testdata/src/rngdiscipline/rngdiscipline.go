@@ -1,0 +1,54 @@
+// Package rngdiscipline is a golden-file fixture for the
+// rngdiscipline analyzer.
+package rngdiscipline
+
+import (
+	"math/rand" // want `import of math/rand`
+	"time"
+
+	"repro/internal/rng"
+)
+
+func wallClockSeed() *rng.Source {
+	seed := uint64(time.Now().UnixNano()) // want `time.Now is nondeterministic`
+	return rng.New(seed)
+}
+
+func computedSeed() *rng.Source {
+	return rng.New(globalDraw()) // want `seed of rng.New computed by a function call`
+}
+
+func computedSplitSeed() []*rng.Source {
+	return rng.Split(globalDraw(), 4) // want `seed of rng.Split computed by a function call`
+}
+
+func zeroValueStream() rng.Source {
+	return rng.Source{} // want `rng.Source composite literal`
+}
+
+func globalDraw() uint64 {
+	return rand.Uint64()
+}
+
+// Disciplined constructions below must NOT be flagged.
+
+func literalSeed() *rng.Source {
+	return rng.New(42)
+}
+
+func plumbedSeed(seed uint64) *rng.Source {
+	return rng.New(seed)
+}
+
+func convertedSeed(trial int) *rng.Source {
+	return rng.New(uint64(trial) + 1)
+}
+
+func splitStreams(seed uint64, workers int) []*rng.Source {
+	return rng.Split(seed, workers)
+}
+
+func suppressed() *rng.Source {
+	//lint:ignore rngdiscipline fixture exercises the escape hatch
+	return rng.New(globalDraw())
+}

@@ -18,6 +18,7 @@ func NewBoundedPareto(l, h, alpha float64) (BoundedPareto, error) {
 	if !(l > 0) || !(h > l) || math.IsInf(h, 0) {
 		return BoundedPareto{}, fmt.Errorf("dist: BoundedPareto needs 0 < L < H < ∞, got L=%g H=%g", l, h)
 	}
+	//lint:ignore floatcmp the moment closed forms are singular only at exactly alpha=1,2
 	if !(alpha > 0) || math.IsInf(alpha, 0) || alpha == 1 || alpha == 2 {
 		return BoundedPareto{}, fmt.Errorf("dist: BoundedPareto tail index must be positive and ≠ 1, 2, got %g", alpha)
 	}

@@ -77,6 +77,7 @@ func NewEmpirical(samples []float64) (*Discrete, error) {
 	w := 1 / float64(len(s))
 	for i := 0; i < len(s); {
 		j := i
+		//lint:ignore floatcmp grouping repeated atoms of a sorted sample is an exact-identity test
 		for j < len(s) && s[j] == s[i] {
 			j++
 		}
@@ -110,6 +111,7 @@ func (d *Discrete) Name() string {
 // which is what the DP and the plotting helpers need.
 func (d *Discrete) PDF(t float64) float64 {
 	i := sort.SearchFloat64s(d.vals, t)
+	//lint:ignore floatcmp a point mass carries weight at exactly its atom; nearby t has density 0
 	if i < len(d.vals) && d.vals[i] == t {
 		return d.probs[i]
 	}

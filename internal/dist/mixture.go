@@ -117,8 +117,8 @@ func (m *Mixture) Quantile(p float64) float64 {
 		lo = math.Min(lo, q)
 		hi = math.Max(hi, q)
 	}
-	if lo == hi {
-		return lo
+	if hi <= lo {
+		return lo // all components agree: bracket is a single point
 	}
 	if math.IsInf(hi, 1) {
 		// Expand an upper bracket geometrically.

@@ -86,6 +86,7 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
 			s := fb / fa
 			var p, q float64
+			//lint:ignore floatcmp Brent's method selects secant vs inverse quadratic on exact bracket identity
 			if a == c {
 				p = 2 * xm * s
 				q = 1 - s

@@ -7,7 +7,6 @@
 package parallel
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 )
@@ -28,8 +27,9 @@ func Workers(n int) int {
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
 // (workers <= 0 selects Workers(n)). Iterations are distributed in
 // contiguous blocks: worker w handles [w*n/W, (w+1)*n/W). A panic in
-// any iteration is re-raised on the caller's goroutine after all
-// workers stop.
+// any iteration is re-raised on the caller's goroutine, with its
+// original value, after all workers stop; when several workers panic,
+// the first value recovered wins.
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -68,7 +68,9 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	wg.Wait()
 	if panicked != nil {
-		panic(fmt.Sprintf("parallel.ForEach: worker panic: %v", panicked))
+		// Re-raise the original value: wrapping it in a string would
+		// break callers that recover and inspect sentinel errors.
+		panic(panicked)
 	}
 }
 
@@ -110,7 +112,7 @@ func ForEachBlock(n, workers int, fn func(worker, lo, hi int)) {
 	}
 	wg.Wait()
 	if panicked != nil {
-		panic(fmt.Sprintf("parallel.ForEachBlock: worker panic: %v", panicked))
+		panic(panicked)
 	}
 }
 

@@ -99,6 +99,7 @@ func TestSumBlocksDeterministic(t *testing.T) {
 	fn := func(i int) float64 { return 1 / (1 + float64(i)) }
 	a := SumBlocks(100000, 4, fn)
 	b := SumBlocks(100000, 4, fn)
+	//lint:ignore floatcmp the test asserts bit-for-bit reproducibility, which is exactly an equality claim
 	if a != b {
 		t.Errorf("same worker count gave different sums: %v vs %v", a, b)
 	}

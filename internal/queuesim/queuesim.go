@@ -183,6 +183,7 @@ func Simulate(cfg Config, jobs []Job) ([]Result, error) {
 			finishOne()
 		} else {
 			now = nextArrival
+			//lint:ignore floatcmp now was assigned from this arrival time, so batch-arrival equality is exact
 			for next < len(pending) && pending[next].Arrival == now {
 				queue = append(queue, pending[next])
 				next++

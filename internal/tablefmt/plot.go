@@ -36,10 +36,10 @@ func Plot(title string, xs, ys []float64, width, height int) string {
 	if finite == 0 {
 		return ""
 	}
-	if xMax == xMin {
+	if xMax <= xMin {
 		xMax = xMin + 1
 	}
-	if yMax == yMin {
+	if yMax <= yMin {
 		yMax = yMin + 1
 	}
 

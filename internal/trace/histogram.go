@@ -35,7 +35,7 @@ func NewHistogram(samples []float64, bins int) (*Histogram, error) {
 		lo = math.Min(lo, s)
 		hi = math.Max(hi, s)
 	}
-	if lo == hi {
+	if hi <= lo {
 		hi = lo + 1 // degenerate trace: one wide bin
 	}
 	h := &Histogram{

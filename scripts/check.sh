@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# check.sh — the canonical tier-1+ verification gate for this repo.
+#
+# Every PR must pass this end-to-end. It layers, in order:
+#   1. go build   — everything compiles
+#   2. go vet     — the toolchain's own static checks
+#   3. cmd/lint   — the repo-specific determinism/concurrency analyzers
+#                   (floatcmp, rngdiscipline, maporder, errcheck-lite,
+#                   synccheck; see DESIGN.md "Static analysis &
+#                   determinism invariants")
+#   4. go test    — the full unit/integration suite
+#   5. go test -race over the concurrency substrate: the parallel
+#      worker pool and the two simulators that fan out onto it.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go run ./cmd/lint ./..."
+go run ./cmd/lint ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency substrate)"
+go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/...
+
+echo "check.sh: all gates passed"
