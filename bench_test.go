@@ -112,13 +112,16 @@ func BenchmarkExp1(b *testing.B) {
 // --- Ablation and micro benchmarks -----------------------------------
 
 // BenchmarkBruteForceScoring compares the paper's Monte-Carlo candidate
-// scoring against the deterministic Eq.-(4) scoring at the same grid —
-// the central protocol choice of §4.1/§5.1.
+// scoring against the deterministic Eq.-(4) scoring — the central
+// protocol choice of §4.1/§5.1 — at the paper's full scale (M=5000 grid
+// points, N=1000 samples), single-worker so the per-candidate cost is
+// what is measured.
 func BenchmarkBruteForceScoring(b *testing.B) {
 	d := dist.MustLogNormal(3, 0.5)
 	for _, mode := range []strategy.EvalMode{strategy.EvalMonteCarlo, strategy.EvalAnalytic} {
 		b.Run(mode.String(), func(b *testing.B) {
-			bf := strategy.BruteForce{M: 300, N: 300, Mode: mode, Seed: 1, Workers: 1}
+			b.ReportAllocs()
+			bf := strategy.BruteForce{M: 5000, N: 1000, Mode: mode, Seed: 1, Workers: 1}
 			for i := 0; i < b.N; i++ {
 				if _, err := bf.Search(core.ReservationOnly, d); err != nil {
 					b.Fatal(err)
@@ -128,12 +131,52 @@ func BenchmarkBruteForceScoring(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkloadScoring pits the pre-Workload scoring path (build
+// each candidate's sequence, sweep all N samples with CostOnSamples)
+// against the precomputed prefix-sum path (sort once, then score each
+// candidate through the allocation-free recurrence cursor) over the
+// same full-scale grid. This is the tentpole speedup: O(N·L) per
+// candidate versus O(L·log N).
+func BenchmarkWorkloadScoring(b *testing.B) {
+	const gridM, n = 5000, 1000
+	d := dist.MustLogNormal(3, 0.5)
+	m := core.ReservationOnly
+	lo, _ := d.Support()
+	hi := core.BoundFirstReservation(m, d)
+	samples := simulate.Samples(d, n, 1)
+
+	b.Run("cost-on-samples", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for g := 0; g < gridM; g++ {
+				t1 := lo + (hi-lo)*float64(g+1)/float64(gridM)
+				s := core.SequenceFromFirstTail(m, d, t1, core.DefaultTailEps)
+				// Invalid candidates error out; the scan just skips them.
+				_, _ = simulate.CostOnSamples(m, s, samples, 1)
+			}
+		}
+	})
+	b.Run("workload", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			wl := simulate.NewWorkload(samples)
+			cur := core.NewRecurrenceCursor(m, d, 0, core.DefaultTailEps)
+			for g := 0; g < gridM; g++ {
+				t1 := lo + (hi-lo)*float64(g+1)/float64(gridM)
+				cur.Reset(t1)
+				_, _ = wl.Cost(m, &cur)
+			}
+		}
+	})
+}
+
 // BenchmarkBruteForceWorkers measures the parallel speedup of the grid
 // scan.
 func BenchmarkBruteForceWorkers(b *testing.B) {
 	d := dist.MustGamma(2, 2)
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			bf := strategy.BruteForce{M: 600, N: 300, Seed: 1, Workers: w}
 			for i := 0; i < b.N; i++ {
 				if _, err := bf.Search(core.ReservationOnly, d); err != nil {
@@ -181,6 +224,7 @@ func BenchmarkDiscretize(b *testing.B) {
 // BenchmarkExpectedCost measures the Eq.-(4) evaluation of a recurrence
 // sequence.
 func BenchmarkExpectedCost(b *testing.B) {
+	b.ReportAllocs()
 	d := dist.MustExponential(1)
 	m := core.ReservationOnly
 	for i := 0; i < b.N; i++ {
@@ -201,6 +245,7 @@ func BenchmarkMonteCarlo(b *testing.B) {
 		b.Fatal(err)
 	}
 	samples := simulate.Samples(d, 1000, 7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := simulate.CostOnSamples(m, s.Clone(), samples, 1); err != nil {

@@ -1,0 +1,218 @@
+// Command bench runs the repository's scoring benchmarks through `go
+// test -bench` and records the machine-readable results (ns/op, B/op,
+// allocs/op) in a JSON file, BENCH.json by default. The file is the
+// regression baseline for the empirical-cost fast path: committing it
+// alongside a perf-sensitive change documents the before/after numbers,
+// and re-running `scripts/bench.sh` on a later revision shows any
+// drift.
+//
+// Usage:
+//
+//	go run ./cmd/bench                       # default subset -> BENCH.json
+//	go run ./cmd/bench -bench . -out all.json
+//	scripts/check.sh --bench                 # full gate + benchmarks
+//
+// The output is deterministic apart from the measurements themselves:
+// benchmarks are sorted by name, repeated -count runs are averaged, and
+// no timestamps are recorded (wall-clock metadata would make every run
+// a spurious diff).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultBench is the scoring-path subset: the candidate-evaluation
+// benchmarks the empirical-cost fast path is accountable to. The full
+// suite (-bench .) includes multi-second experiment drivers and is
+// opt-in.
+const defaultBench = "^(BenchmarkWorkloadScoring|BenchmarkBruteForceScoring|BenchmarkMonteCarlo|BenchmarkExpectedCost)$"
+
+// Result is one benchmark's averaged measurements.
+type Result struct {
+	// Name is the benchmark name with the GOMAXPROCS suffix stripped
+	// (BenchmarkFoo/bar-8 -> BenchmarkFoo/bar).
+	Name string `json:"name"`
+	// Runs is the number of -count repetitions averaged together.
+	Runs int `json:"runs"`
+	// Iterations is the mean b.N across runs.
+	Iterations float64 `json:"iterations"`
+	// NsPerOp is the mean ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the mean B/op (0 unless -benchmem reported it).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is the mean allocs/op (0 unless -benchmem reported it).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the BENCH.json schema.
+type Report struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH.json", "output JSON file")
+	benchRe := fs.String("bench", defaultBench, "go test -bench regexp")
+	benchtime := fs.String("benchtime", "1s", "go test -benchtime value")
+	count := fs.Int("count", 1, "go test -count repetitions (averaged)")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cmdArgs := []string{
+		"test", "-run", "^$",
+		"-bench", *benchRe,
+		"-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		*pkg,
+	}
+	fmt.Fprintf(stderr, "bench: go %s\n", strings.Join(cmdArgs, " "))
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: go test: %v\n", err)
+		return 1
+	}
+	if _, err := stdout.Write(raw); err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+
+	report, err := parseBenchOutput(string(raw))
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintf(stderr, "bench: no benchmarks matched %q\n", *benchRe)
+		return 1
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "bench: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+	return 0
+}
+
+// parseBenchOutput turns `go test -bench` text into a Report. Repeated
+// lines for one benchmark (from -count > 1) are averaged; benchmarks
+// are sorted by name.
+func parseBenchOutput(text string) (Report, error) {
+	var report Report
+	type acc struct {
+		runs                       int
+		iters, ns, bytesOp, allocs float64
+	}
+	sums := make(map[string]*acc)
+	var order []string
+
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.GoOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			report.GoArch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			report.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name iterations value unit [value unit ...]
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := stripProcsSuffix(fields[0])
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return report, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		a := sums[name]
+		if a == nil {
+			a = &acc{}
+			sums[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		a.iters += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return report, fmt.Errorf("bad value in %q: %v", line, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.bytesOp += v
+			case "allocs/op":
+				a.allocs += v
+			}
+		}
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		a := sums[name]
+		n := float64(a.runs)
+		report.Benchmarks = append(report.Benchmarks, Result{
+			Name:        name,
+			Runs:        a.runs,
+			Iterations:  a.iters / n,
+			NsPerOp:     a.ns / n,
+			BytesPerOp:  a.bytesOp / n,
+			AllocsPerOp: a.allocs / n,
+		})
+	}
+	return report, nil
+}
+
+// stripProcsSuffix removes the trailing -GOMAXPROCS tag go test appends
+// to benchmark names (BenchmarkFoo/bar-8 -> BenchmarkFoo/bar), so the
+// recorded names do not depend on the machine's core count.
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+const cannedOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBruteForceScoring/monte-carlo-8         	    1652	    712738 ns/op	  156252 B/op	      13 allocs/op
+BenchmarkBruteForceScoring/analytic-8            	     334	   3496205 ns/op	 1141552 B/op	   25554 allocs/op
+BenchmarkWorkloadScoring/cost-on-samples-8       	      28	  41037973 ns/op	 1794968 B/op	   38096 allocs/op
+BenchmarkWorkloadScoring/workload-8              	    2000	    548697 ns/op	   24784 B/op	       6 allocs/op
+BenchmarkWorkloadScoring/workload-8              	    2000	    548703 ns/op	   24784 B/op	       6 allocs/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	report, err := parseBenchOutput(cannedOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GoOS != "linux" || report.GoArch != "amd64" || report.Pkg != "repro" {
+		t.Errorf("header = (%q, %q, %q)", report.GoOS, report.GoArch, report.Pkg)
+	}
+	if report.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", report.CPU)
+	}
+	names := make([]string, len(report.Benchmarks))
+	for i, r := range report.Benchmarks {
+		names[i] = r.Name
+	}
+	want := []string{
+		"BenchmarkBruteForceScoring/analytic",
+		"BenchmarkBruteForceScoring/monte-carlo",
+		"BenchmarkWorkloadScoring/cost-on-samples",
+		"BenchmarkWorkloadScoring/workload",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v (sorted, procs suffix stripped)", names, want)
+		}
+	}
+
+	mc := report.Benchmarks[1]
+	if mc.Runs != 1 || mc.Iterations != 1652 || mc.NsPerOp != 712738 ||
+		mc.BytesPerOp != 156252 || mc.AllocsPerOp != 13 {
+		t.Errorf("monte-carlo = %+v", mc)
+	}
+	// The duplicated workload line (-count 2) is averaged.
+	wl := report.Benchmarks[3]
+	if wl.Runs != 2 || math.Abs(wl.NsPerOp-548700) > 0.5 || wl.AllocsPerOp != 6 {
+		t.Errorf("workload = %+v, want 2 runs averaging to 548700 ns/op", wl)
+	}
+}
+
+func TestParseBenchOutputBadLine(t *testing.T) {
+	if _, err := parseBenchOutput("BenchmarkX-8\tnot-a-number\t10 ns/op\n"); err == nil {
+		t.Error("want error for unparseable iteration count")
+	}
+}
+
+func TestStripProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":       "BenchmarkFoo",
+		"BenchmarkFoo/bar-16":  "BenchmarkFoo/bar",
+		"BenchmarkFoo":         "BenchmarkFoo",
+		"BenchmarkFoo/n=100-4": "BenchmarkFoo/n=100",
+		"BenchmarkFoo/x-y":     "BenchmarkFoo/x-y",
+	}
+	for in, want := range cases {
+		if got := stripProcsSuffix(in); got != want {
+			t.Errorf("stripProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// cursorModels are the cost models the parity tests probe: the paper's
+// RESERVATIONONLY instance and a general affine model exercising β and γ.
+var cursorModels = []CostModel{
+	ReservationOnly,
+	{Alpha: 0.95, Beta: 1, Gamma: 1.05},
+}
+
+// TestRecurrenceCursorMatchesSequence: the allocation-free cursor must
+// yield exactly the values (and the same terminal error) as the
+// materialized SequenceFromFirstTail, across all paper distributions,
+// several first reservations, and both cost models.
+func TestRecurrenceCursorMatchesSequence(t *testing.T) {
+	for _, m := range cursorModels {
+		for _, d := range dist.Table1() {
+			lo, _ := d.Support()
+			hi := BoundFirstReservation(m, d)
+			for _, frac := range []float64{0.02, 0.2, 0.5, 0.9, 1.0} {
+				t1 := lo + (hi-lo)*frac
+				for _, tailEps := range []float64{0, DefaultTailEps} {
+					s := SequenceFromFirstTail(m, d, t1, tailEps)
+					cur := NewRecurrenceCursor(m, d, t1, tailEps)
+					for i := 0; i < 200; i++ {
+						want, errS := s.At(i)
+						got, errC := cur.Next()
+						if (errS == nil) != (errC == nil) {
+							t.Fatalf("%s %v t1=%g eps=%g i=%d: sequence err %v, cursor err %v",
+								d.Name(), m, t1, tailEps, i, errS, errC)
+						}
+						if errS != nil {
+							if !errors.Is(errC, errS) {
+								t.Fatalf("%s t1=%g i=%d: error mismatch: sequence %v, cursor %v",
+									d.Name(), t1, i, errS, errC)
+							}
+							break
+						}
+						if want != got { //lint:ignore floatcmp parity test: identical operations must give identical bits
+							t.Fatalf("%s %v t1=%g eps=%g i=%d: sequence %g, cursor %g",
+								d.Name(), m, t1, tailEps, i, want, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRecurrenceCursorInvalidFirst: nonpositive and NaN first
+// reservations fail with ErrNonIncreasing on both paths.
+func TestRecurrenceCursorInvalidFirst(t *testing.T) {
+	d := dist.MustExponential(1)
+	for _, t1 := range []float64{0, -1, math.NaN()} {
+		cur := NewRecurrenceCursor(ReservationOnly, d, t1, 0)
+		if _, err := cur.Next(); !errors.Is(err, ErrNonIncreasing) {
+			t.Errorf("t1=%g: err = %v, want ErrNonIncreasing", t1, err)
+		}
+		// The error is sticky.
+		if _, err := cur.Next(); !errors.Is(err, ErrNonIncreasing) {
+			t.Errorf("t1=%g: repeat err = %v, want ErrNonIncreasing", t1, err)
+		}
+	}
+}
+
+// TestRecurrenceCursorBoundedEnds: on bounded support the cursor closes
+// with b and then reports ErrEnd, like the materialized sequence.
+func TestRecurrenceCursorBoundedEnds(t *testing.T) {
+	d := dist.MustUniform(10, 20)
+	cur := NewRecurrenceCursor(ReservationOnly, d, 25, 0) // t1 past b: clamps to b
+	v, err := cur.Next()
+	if err != nil || math.Abs(v-20) > 0 {
+		t.Fatalf("first = %g, %v; want 20", v, err)
+	}
+	if _, err := cur.Next(); !errors.Is(err, ErrEnd) {
+		t.Errorf("after b: err = %v, want ErrEnd", err)
+	}
+}
+
+// TestRecurrenceCursorReset: a reset cursor replays exactly the values
+// of a fresh one, including after an error.
+func TestRecurrenceCursorReset(t *testing.T) {
+	d := dist.MustLogNormal(3, 0.5)
+	m := ReservationOnly
+	cur := NewRecurrenceCursor(m, d, -1, DefaultTailEps)
+	if _, err := cur.Next(); err == nil {
+		t.Fatal("want error for t1 = -1")
+	}
+	cur.Reset(25)
+	fresh := NewRecurrenceCursor(m, d, 25, DefaultTailEps)
+	for i := 0; i < 50; i++ {
+		a, errA := cur.Next()
+		b, errB := fresh.Next()
+		if (errA == nil) != (errB == nil) || (errA == nil && a != b) { //lint:ignore floatcmp parity test: identical operations must give identical bits
+			t.Fatalf("i=%d: reset cursor (%g, %v) vs fresh (%g, %v)", i, a, errA, b, errB)
+		}
+		if errA != nil {
+			break
+		}
+	}
+}
+
+// TestSequenceCursorWalksSequence: the Sequence adapter yields At(0..)
+// and ends with the sequence's own error.
+func TestSequenceCursorWalksSequence(t *testing.T) {
+	s, err := NewExplicitSequence(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Cursor()
+	want := []float64{1, 2, 4}
+	for i, w := range want {
+		v, err := cur.Next()
+		if err != nil || v != w { //lint:ignore floatcmp exact assigned values
+			t.Fatalf("i=%d: got (%g, %v), want %g", i, v, err, w)
+		}
+	}
+	if _, err := cur.Next(); !errors.Is(err, ErrEnd) {
+		t.Errorf("err = %v, want ErrEnd", err)
+	}
+}

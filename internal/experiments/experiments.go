@@ -88,21 +88,35 @@ var HeuristicNames = []string{
 }
 
 // scoreSequence evaluates a sequence's normalized expected cost under
-// the configured protocol. NaN marks an invalid/uncoverable strategy.
-func (c Config) scoreSequence(m core.CostModel, d dist.Distribution, s *core.Sequence, samples []float64) float64 {
+// the configured protocol — against the distribution's precomputed
+// Monte-Carlo Workload, or the Eq.-(4) closed form when wl is nil or
+// the config is analytic. NaN marks an invalid/uncoverable strategy.
+// The sequence is consumed in place (no clone): callers pass a freshly
+// built sequence that no other goroutine touches.
+func (c Config) scoreSequence(m core.CostModel, d dist.Distribution, s *core.Sequence, wl *simulate.Workload) float64 {
 	var cost float64
 	var err error
-	if c.Analytic || samples == nil {
-		cost, err = core.ExpectedCost(m, d, s.Clone())
+	if c.Analytic || wl == nil {
+		cost, err = core.ExpectedCost(m, d, s)
 	} else {
-		var est simulate.Estimate
-		est, err = simulate.CostOnSamples(m, s.Clone(), samples, 1)
-		cost = est.Mean
+		cost, err = wl.CostSequence(m, s)
 	}
 	if err != nil || math.IsNaN(cost) || math.IsInf(cost, 0) {
 		return math.NaN()
 	}
 	return cost / m.OmniscientCost(d)
+}
+
+// workloadFor builds the distribution's shared Monte-Carlo workload —
+// the same (seed-offset) sample set every driver previously drew with
+// simulate.Samples — or nil in analytic mode. Building it once per
+// distribution lets the brute-force scan and every heuristic score
+// against one precomputed scorer.
+func workloadFor(d dist.Distribution, cfg Config, offset uint64) *simulate.Workload {
+	if cfg.Analytic {
+		return nil
+	}
+	return simulate.NewWorkloadFrom(d, cfg.N, cfg.Seed+offset)
 }
 
 // heuristics returns the six non-brute-force strategies in column
@@ -139,10 +153,10 @@ func Table2(cfg Config) ([]Table2Row, error) {
 	parallel.ForEach(len(dists), cfg.Workers, func(i int) {
 		d := dists[i]
 		row := Table2Row{Distribution: names[i], Costs: make([]float64, len(HeuristicNames))}
-		samples := simulate.Samples(d, cfg.N, cfg.Seed+uint64(i))
+		wl := workloadFor(d, cfg, uint64(i))
 
 		bf := strategy.BruteForce{M: cfg.M, N: cfg.N, Mode: cfg.evalMode(), Seed: cfg.Seed + uint64(i), Workers: 1}
-		res, err := bf.Search(m, d)
+		res, err := bf.SearchOn(m, d, wl)
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: brute force on %s: %w", d.Name(), err)
 			row.Costs[0] = math.NaN()
@@ -156,7 +170,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 				row.Costs[j+1] = math.NaN()
 				continue
 			}
-			row.Costs[j+1] = cfg.scoreSequence(m, d, s, samples)
+			row.Costs[j+1] = cfg.scoreSequence(m, d, s, wl)
 		}
 		rows[i] = row
 	})
@@ -216,9 +230,9 @@ func Table3(cfg Config) ([]Table3Row, error) {
 	parallel.ForEach(len(dists), cfg.Workers, func(i int) {
 		d := dists[i]
 		row := Table3Row{Distribution: names[i]}
-		samples := simulate.Samples(d, cfg.N, cfg.Seed+uint64(i))
+		wl := workloadFor(d, cfg, uint64(i))
 		bf := strategy.BruteForce{M: cfg.M, N: cfg.N, Mode: cfg.evalMode(), Seed: cfg.Seed + uint64(i), Workers: 1}
-		res, err := bf.Search(m, d)
+		res, err := bf.SearchOn(m, d, wl)
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: brute force on %s: %w", d.Name(), err)
 			row.BestT1, row.BestCost = math.NaN(), math.NaN()
@@ -226,13 +240,10 @@ func Table3(cfg Config) ([]Table3Row, error) {
 			row.BestT1 = res.Best.T1
 			row.BestCost = res.Best.Cost / m.OmniscientCost(d)
 		}
-		if cfg.Analytic {
-			samples = nil
-		}
 		for q, p := range Table3Quantiles {
 			t1 := d.Quantile(p)
 			row.QuantileT1[q] = t1
-			cand, _ := bf.EvaluateT1(m, d, t1, samples)
+			cand, _ := bf.EvaluateT1On(m, d, t1, wl)
 			if cand.Valid {
 				row.QuantileCost[q] = cand.Cost / m.OmniscientCost(d)
 			} else {
@@ -289,10 +300,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 	rows := make([]Table4Row, len(dists))
 	parallel.ForEach(len(dists), cfg.Workers, func(i int) {
 		d := dists[i]
-		samples := simulate.Samples(d, cfg.N, cfg.Seed+uint64(i))
-		if cfg.Analytic {
-			samples = nil
-		}
+		wl := workloadFor(d, cfg, uint64(i))
 		row := Table4Row{
 			Distribution: names[i],
 			EqualTime:    make([]float64, len(Table4SampleCounts)),
@@ -311,7 +319,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 					*which.out = math.NaN()
 					continue
 				}
-				*which.out = cfg.scoreSequence(m, d, s, samples)
+				*which.out = cfg.scoreSequence(m, d, s, wl)
 			}
 		}
 		rows[i] = row

@@ -9,7 +9,6 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/parallel"
 	"repro/internal/platform"
-	"repro/internal/simulate"
 	"repro/internal/strategy"
 	"repro/internal/tablefmt"
 	"repro/internal/trace"
@@ -39,7 +38,7 @@ func Fig3(cfg Config) ([]Fig3Series, error) {
 	parallel.ForEach(len(dists), cfg.Workers, func(i int) {
 		d := dists[i]
 		bf := strategy.BruteForce{M: cfg.M, N: cfg.N, Mode: cfg.evalMode(), Seed: cfg.Seed + uint64(i), Workers: 1}
-		res, err := bf.Search(m, d)
+		res, err := bf.SearchOn(m, d, workloadFor(d, cfg, uint64(i)))
 		s := Fig3Series{Distribution: names[i], BestT1: math.NaN()}
 		if err == nil {
 			s.BestT1 = res.Best.T1
@@ -109,10 +108,12 @@ func Fig4(cfg Config) ([]Fig4Row, error) {
 			return
 		}
 		row := Fig4Row{Factor: f, MeanHours: mean, SdHours: sd, Costs: make([]float64, len(HeuristicNames))}
-		samples := simSamples(d, cfg, uint64(i))
+		// The brute-force seed offset matches the heuristic sample
+		// offset, so one workload serves the scan and all heuristics.
+		wl := workloadFor(d, cfg, uint64(i))
 
 		bf := strategy.BruteForce{M: cfg.M, N: cfg.N, Mode: cfg.evalMode(), Seed: cfg.Seed + uint64(i), Workers: 1}
-		res, err := bf.Search(m, d)
+		res, err := bf.SearchOn(m, d, wl)
 		if err != nil {
 			row.Costs[0] = math.NaN()
 		} else {
@@ -124,7 +125,7 @@ func Fig4(cfg Config) ([]Fig4Row, error) {
 				row.Costs[j+1] = math.NaN()
 				continue
 			}
-			row.Costs[j+1] = cfg.scoreSequence(m, d, s, samples)
+			row.Costs[j+1] = cfg.scoreSequence(m, d, s, wl)
 		}
 		rows[i] = row
 	})
@@ -165,7 +166,7 @@ func Fig4FromTrace(cfg Config, app trace.Application, runs int) (Fig4Row, core.C
 	m := platform.NeuroHPCFromWaitModel(wfit)
 
 	row := Fig4Row{Factor: 1, MeanHours: d.Mean(), SdHours: dist.StdDev(d), Costs: make([]float64, len(HeuristicNames))}
-	mc := simSamples(d, cfg, 99)
+	mc := workloadFor(d, cfg, 99)
 	bf := strategy.BruteForce{M: cfg.M, N: cfg.N, Mode: cfg.evalMode(), Seed: cfg.Seed, Workers: cfg.Workers}
 	res, err := bf.Search(m, d)
 	if err != nil {
@@ -201,15 +202,6 @@ func RenderFig4(rows []Fig4Row) *tablefmt.Table {
 		t.AddRow(cells...)
 	}
 	return t
-}
-
-// simSamples draws the Monte-Carlo workload for a scenario, or nil in
-// analytic mode.
-func simSamples(d dist.Distribution, cfg Config, offset uint64) []float64 {
-	if cfg.Analytic {
-		return nil
-	}
-	return simulate.Samples(d, cfg.N, cfg.Seed+offset)
 }
 
 // Exp1Result summarizes the §3.5 study of Exp(1) under

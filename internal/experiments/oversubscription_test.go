@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestDriversDoNotOversubscribe is the nested-parallelism regression
+// guard: every evaluation issued from inside a driver's parallel.ForEach
+// worker (brute-force scans, Workload scoring, heuristic construction)
+// must run inline (workers=1). The parallel package counts live worker
+// goroutines, so if an inner call ever starts fanning out again the
+// observed peak exceeds the driver's own fan-out — with W outer workers
+// each spawning W more, the classic W×W goroutine oversubscription.
+func TestDriversDoNotOversubscribe(t *testing.T) {
+	cfg := Config{M: 60, N: 80, DiscN: 40, Epsilon: 1e-6, Seed: 3, Workers: 3}
+
+	drivers := []struct {
+		name string
+		run  func() error
+	}{
+		{"Table2", func() error { _, err := Table2(cfg); return err }},
+		{"Table3", func() error { _, err := Table3(cfg); return err }},
+		{"Table4", func() error { _, err := Table4(cfg); return err }},
+		{"Fig3", func() error { _, err := Fig3(cfg); return err }},
+		{"Fig4", func() error { _, err := Fig4(cfg); return err }},
+	}
+	for _, drv := range drivers {
+		parallel.ResetPeakWorkers()
+		if err := drv.run(); err != nil {
+			t.Fatalf("%s: %v", drv.name, err)
+		}
+		if peak := parallel.PeakWorkers(); peak > cfg.Workers {
+			t.Errorf("%s: peak of %d concurrent workers exceeds the driver fan-out of %d — an inner evaluation is spawning its own workers instead of running with workers=1",
+				drv.name, peak, cfg.Workers)
+		}
+	}
+}

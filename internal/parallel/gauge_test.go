@@ -1,0 +1,54 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWorkerGaugeCountsSpawnedWorkers: the gauge sees exactly the
+// goroutines a parallel call spawns, and inline execution none.
+func TestWorkerGaugeCountsSpawnedWorkers(t *testing.T) {
+	ResetPeakWorkers()
+	ForEach(100, 1, func(int) {})
+	if got := PeakWorkers(); got != 0 {
+		t.Errorf("inline ForEach spawned %d workers, want 0", got)
+	}
+
+	ResetPeakWorkers()
+	// Hold all workers at a barrier so every one is live at once.
+	var barrier sync.WaitGroup
+	barrier.Add(4)
+	ForEachBlock(4, 4, func(w, lo, hi int) {
+		barrier.Done()
+		barrier.Wait()
+	})
+	if got := PeakWorkers(); got != 4 {
+		t.Errorf("peak = %d, want 4", got)
+	}
+	if got := ActiveWorkers(); got != 0 {
+		t.Errorf("active after return = %d, want 0", got)
+	}
+}
+
+// TestWorkerGaugeSeesNesting: a worker that itself fans out drives the
+// peak above its own fan-out — the signature of oversubscription the
+// experiments regression test relies on. The inner barrier keeps both
+// nested workers live at once, so the peak is at least 3 (outer worker
+// plus its two children) under any schedule.
+func TestWorkerGaugeSeesNesting(t *testing.T) {
+	ResetPeakWorkers()
+	ForEachBlock(2, 2, func(w, lo, hi int) {
+		if w != 0 {
+			return
+		}
+		var barrier sync.WaitGroup
+		barrier.Add(2)
+		ForEachBlock(2, 2, func(iw, ilo, ihi int) {
+			barrier.Done()
+			barrier.Wait()
+		})
+	})
+	if got := PeakWorkers(); got < 3 {
+		t.Errorf("nested fan-out peak = %d, want >= 3", got)
+	}
+}

@@ -9,7 +9,47 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// activeWorkers counts live worker goroutines across all ForEach /
+// ForEachBlock calls in the process; peakWorkers is its high-water mark
+// since the last ResetPeakWorkers. The pair is the oversubscription
+// gauge: nested evaluation calls are required to run with workers=1
+// (inline, spawning nothing), so the peak observed during a driver run
+// must never exceed the driver's own fan-out. Regression tests assert
+// exactly that.
+var (
+	activeWorkers atomic.Int64
+	peakWorkers   atomic.Int64
+)
+
+func noteWorkerStart() {
+	a := activeWorkers.Add(1)
+	for {
+		p := peakWorkers.Load()
+		if a <= p || peakWorkers.CompareAndSwap(p, a) {
+			return
+		}
+	}
+}
+
+func noteWorkerExit() {
+	activeWorkers.Add(-1)
+}
+
+// ActiveWorkers returns the number of currently live worker goroutines.
+func ActiveWorkers() int { return int(activeWorkers.Load()) }
+
+// PeakWorkers returns the maximum number of simultaneously live worker
+// goroutines observed since the last ResetPeakWorkers (or process
+// start). Inline execution (workers <= 1) spawns no goroutines and is
+// not counted.
+func PeakWorkers() int { return int(peakWorkers.Load()) }
+
+// ResetPeakWorkers rebases the high-water mark to the current live
+// count, so a test can bracket one driver call.
+func ResetPeakWorkers() { peakWorkers.Store(activeWorkers.Load()) }
 
 // Workers returns the default worker count: GOMAXPROCS capped at n (no
 // point spawning more workers than items).
@@ -51,7 +91,9 @@ func ForEach(n, workers int, fn func(i int)) {
 		hi := (w + 1) * n / workers
 		wg.Add(1)
 		go func(lo, hi int) {
+			noteWorkerStart()
 			defer wg.Done()
+			defer noteWorkerExit()
 			defer func() {
 				if r := recover(); r != nil {
 					mu.Lock()
@@ -97,7 +139,9 @@ func ForEachBlock(n, workers int, fn func(worker, lo, hi int)) {
 		hi := (w + 1) * n / workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
+			noteWorkerStart()
 			defer wg.Done()
+			defer noteWorkerExit()
 			defer func() {
 				if r := recover(); r != nil {
 					mu.Lock()

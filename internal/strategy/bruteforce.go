@@ -101,59 +101,142 @@ func (b BruteForce) params() (m, n int, tailEps float64) {
 
 // EvaluateT1 scores a single first-reservation candidate under the
 // configured mode, returning the candidate record and its sequence.
+// Monte-Carlo scoring builds a throwaway Workload from the samples;
+// callers scoring many candidates on one sample set should build the
+// Workload once and use EvaluateT1On instead.
 func (b BruteForce) EvaluateT1(m core.CostModel, d dist.Distribution, t1 float64, samples []float64) (Candidate, *core.Sequence) {
+	var wl *simulate.Workload
+	if b.Mode != EvalAnalytic && samples != nil {
+		wl = simulate.NewWorkload(samples)
+	}
+	return b.EvaluateT1On(m, d, t1, wl)
+}
+
+// EvaluateT1On scores a single candidate against a shared Workload
+// (Monte-Carlo protocol) or, when wl is nil or the mode is analytic,
+// with the deterministic Eq.-(4) closed form.
+func (b BruteForce) EvaluateT1On(m core.CostModel, d dist.Distribution, t1 float64, wl *simulate.Workload) (Candidate, *core.Sequence) {
 	_, _, tailEps := b.params()
-	s := core.SequenceFromFirstTail(m, d, t1, tailEps)
-	var cost float64
-	var err error
-	if b.Mode == EvalAnalytic || samples == nil {
-		cost, err = core.ExpectedCost(m, d, s.Clone())
-	} else {
-		var est simulate.Estimate
-		est, err = simulate.CostOnSamples(m, s.Clone(), samples, 1)
-		cost = est.Mean
+	if b.Mode == EvalAnalytic || wl == nil {
+		s := core.SequenceFromFirstTail(m, d, t1, tailEps)
+		cost, err := core.ExpectedCost(m, d, s.Clone())
+		if err != nil || math.IsNaN(cost) || math.IsInf(cost, 1) {
+			return Candidate{T1: t1, Cost: math.NaN()}, nil
+		}
+		return Candidate{T1: t1, Cost: cost, Valid: true}, s
 	}
+	cur := core.NewRecurrenceCursor(m, d, t1, tailEps)
+	c := evalWorkload(m, t1, wl, &cur)
+	if !c.Valid {
+		return c, nil
+	}
+	return c, core.SequenceFromFirstTail(m, d, t1, tailEps)
+}
+
+// evalWorkload scores one candidate through the allocation-free
+// recurrence cursor: no Sequence is built, no clone taken. The caller
+// owns the cursor (already positioned at t1) and may reuse it across
+// candidates via Reset.
+func evalWorkload(m core.CostModel, t1 float64, wl *simulate.Workload, cur *core.RecurrenceCursor) Candidate {
+	cost, err := wl.Cost(m, cur)
 	if err != nil || math.IsNaN(cost) || math.IsInf(cost, 1) {
-		return Candidate{T1: t1, Cost: math.NaN()}, nil
+		return Candidate{T1: t1, Cost: math.NaN()}
 	}
-	return Candidate{T1: t1, Cost: cost, Valid: true}, s
+	return Candidate{T1: t1, Cost: cost, Valid: true}
 }
 
 // Search runs the full grid scan and returns every candidate along
-// with the winner.
+// with the winner. In Monte-Carlo mode the (N, Seed) workload is drawn
+// and precomputed once for the whole scan.
 func (b BruteForce) Search(m core.CostModel, d dist.Distribution) (SearchResult, error) {
+	return b.SearchOn(m, d, nil)
+}
+
+// SearchOn is Search scoring Monte-Carlo candidates against a shared
+// precomputed Workload — the drivers that evaluate many strategies on
+// one distribution build the workload once and pass it to every scan.
+// A nil wl in Monte-Carlo mode draws the configured (N, Seed) workload;
+// in analytic mode wl is ignored.
+func (b BruteForce) SearchOn(m core.CostModel, d dist.Distribution, wl *simulate.Workload) (SearchResult, error) {
 	if err := m.Validate(); err != nil {
 		return SearchResult{}, err
 	}
-	gridM, n, _ := b.params()
+	gridM, n, tailEps := b.params()
 	lo, _ := d.Support()
 	hi := core.BoundFirstReservation(m, d)
 	if !(hi > lo) {
 		return SearchResult{}, fmt.Errorf("strategy: degenerate search interval [%g, %g]", lo, hi)
 	}
-	var samples []float64
 	if b.Mode == EvalMonteCarlo {
-		samples = simulate.Samples(d, n, b.Seed)
+		if wl == nil {
+			wl = simulate.NewWorkloadFrom(d, n, b.Seed)
+		}
+	} else {
+		wl = nil
 	}
 
+	workers := b.Workers
+	if workers <= 0 || workers > gridM {
+		workers = parallel.Workers(gridM)
+	}
+	// Each worker records its block's winner (and, under analytic
+	// scoring, the winner's already-built sequence) so the best
+	// candidate is never evaluated a second time after the scan.
+	type blockBest struct {
+		idx int
+		seq *core.Sequence
+	}
 	cands := make([]Candidate, gridM)
-	parallel.ForEach(gridM, b.Workers, func(i int) {
-		// Paper's grid: t1 = a + m·(b-a)/M for m = 1..M.
-		t1 := lo + (hi-lo)*float64(i+1)/float64(gridM)
-		cands[i], _ = b.EvaluateT1(m, d, t1, samples)
+	wins := make([]blockBest, workers)
+	parallel.ForEachBlock(gridM, workers, func(w, wlo, whi int) {
+		best := blockBest{idx: -1}
+		bestCost := math.Inf(1)
+		cur := core.NewRecurrenceCursor(m, d, 0, tailEps) // reused across the block
+		for i := wlo; i < whi; i++ {
+			// Paper's grid: t1 = a + m·(b-a)/M for m = 1..M.
+			t1 := lo + (hi-lo)*float64(i+1)/float64(gridM)
+			if wl != nil {
+				cur.Reset(t1)
+				cands[i] = evalWorkload(m, t1, wl, &cur)
+				if cands[i].Valid && cands[i].Cost < bestCost {
+					bestCost = cands[i].Cost
+					best = blockBest{idx: i}
+				}
+			} else {
+				c, seq := b.EvaluateT1On(m, d, t1, nil)
+				cands[i] = c
+				if c.Valid && c.Cost < bestCost {
+					bestCost = c.Cost
+					best = blockBest{idx: i, seq: seq}
+				}
+			}
+		}
+		wins[w] = best
 	})
 
+	// Blocks are contiguous, so reducing in worker order with a strict
+	// < keeps the same winner (first grid index on ties) as a linear
+	// scan, independent of the worker count.
 	best := Candidate{Cost: math.Inf(1)}
-	for _, c := range cands {
-		if c.Valid && c.Cost < best.Cost {
+	var bestSeq *core.Sequence
+	for _, bb := range wins {
+		if bb.idx < 0 {
+			continue
+		}
+		if c := cands[bb.idx]; c.Cost < best.Cost {
 			best = c
+			bestSeq = bb.seq
 		}
 	}
 	if !best.Valid {
 		return SearchResult{Candidates: cands}, errors.New("strategy: no valid brute-force candidate")
 	}
-	_, seq := b.EvaluateT1(m, d, best.T1, samples)
-	return SearchResult{Best: best, Sequence: seq, Candidates: cands}, nil
+	if bestSeq == nil {
+		// Monte-Carlo scan: candidates were scored through the cursor,
+		// so build the winner's (lazy) sequence now — O(1), no rescore.
+		bestSeq = core.SequenceFromFirstTail(m, d, best.T1, tailEps)
+	}
+	return SearchResult{Best: best, Sequence: bestSeq, Candidates: cands}, nil
 }
 
 // Sequence implements Strategy.

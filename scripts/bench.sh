@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# bench.sh — run the scoring benchmarks and refresh BENCH.json.
+#
+# Wraps cmd/bench: `go test -bench` over the candidate-scoring subset
+# (Workload fast path vs CostOnSamples, brute-force search, Eq.-(4) and
+# Eq.-(13) evaluation), parsed into a deterministic JSON report.
+#
+# Usage:
+#   scripts/bench.sh                     # default subset -> BENCH.json
+#   scripts/bench.sh -bench . -out all.json -benchtime 2s -count 3
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/bench "$@"

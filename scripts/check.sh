@@ -12,9 +12,21 @@
 #   5. go test -race over the concurrency substrate: the parallel
 #      worker pool and the two simulators that fan out onto it.
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--bench]
+#
+# --bench additionally runs scripts/bench.sh after the gates pass,
+# refreshing BENCH.json with the scoring-benchmark numbers. It is
+# opt-in so the default gate stays fast.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== go build ./..."
 go build ./...
@@ -32,3 +44,8 @@ echo "== go test -race (concurrency substrate)"
 go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/...
 
 echo "check.sh: all gates passed"
+
+if [ "$run_bench" = 1 ]; then
+  echo "== scripts/bench.sh"
+  scripts/bench.sh
+fi
