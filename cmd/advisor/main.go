@@ -93,10 +93,10 @@ func run(w io.Writer, samples []float64, strat string, m repro.CostModel, odRati
 	fmt.Fprintf(w, "strategy:         %s\n", strat)
 	fmt.Fprintf(w, "reservations:     %.5g\n", plan.Reservations)
 	fmt.Fprintf(w, "expected cost:    %.5g (%.3f× omniscient)\n", plan.ExpectedCost, plan.NormalizedCost)
-	if st, err := plan.Stats(best.Dist); err == nil {
+	if st, err := plan.Stats(); err == nil {
 		fmt.Fprintf(w, "expected attempts %.3f, utilization %.1f%%\n", st.ExpectedAttempts, 100*st.Utilization)
 	}
-	if p99, err := plan.CostQuantile(best.Dist, 0.99); err == nil {
+	if p99, err := plan.CostQuantile(0.99); err == nil {
 		fmt.Fprintf(w, "p99 cost:         %.5g\n", p99)
 	}
 	if ok, err := plan.ReservedVsOnDemand(odRatio); err == nil {

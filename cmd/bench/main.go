@@ -30,11 +30,12 @@ import (
 	"strings"
 )
 
-// defaultBench is the scoring-path subset: the candidate-evaluation
-// benchmarks the empirical-cost fast path is accountable to. The full
-// suite (-bench .) includes multi-second experiment drivers and is
-// opt-in.
-const defaultBench = "^(BenchmarkWorkloadScoring|BenchmarkBruteForceScoring|BenchmarkMonteCarlo|BenchmarkExpectedCost)$"
+// defaultBench is the scoring-path subset — the candidate-evaluation
+// benchmarks the empirical-cost fast path is accountable to — plus the
+// plan-service pair contrasting cached and uncached request latency.
+// The full suite (-bench .) includes multi-second experiment drivers
+// and is opt-in.
+const defaultBench = "^(BenchmarkWorkloadScoring|BenchmarkBruteForceScoring|BenchmarkMonteCarlo|BenchmarkExpectedCost|BenchmarkPlanServiceCached|BenchmarkPlanServiceUncached)$"
 
 // Result is one benchmark's averaged measurements.
 type Result struct {

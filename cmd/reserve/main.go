@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro"
@@ -42,7 +41,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	d, err := ParseDistribution(*distSpec)
+	d, err := repro.ParseDistribution(*distSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reserve:", err)
 		os.Exit(1)
@@ -76,12 +75,12 @@ func main() {
 	if ok, err := plan.ReservedVsOnDemand(4); err == nil {
 		fmt.Printf("vs on-demand ×4: reservation worthwhile = %v\n", ok)
 	}
-	if st, err := plan.Stats(d); err == nil {
+	if st, err := plan.Stats(); err == nil {
 		fmt.Printf("attempts:        %.3f expected (P1=%.0f%%, P2=%.0f%%)\n",
 			st.ExpectedAttempts, 100*attemptProb(st, 0), 100*attemptProb(st, 1))
 		fmt.Printf("utilization:     %.1f%% of reserved time used\n", 100*st.Utilization)
 	}
-	if p99, err := plan.CostQuantile(d, 0.99); err == nil {
+	if p99, err := plan.CostQuantile(0.99); err == nil {
 		fmt.Printf("p99 cost:        %.5g\n", p99)
 	}
 	if !math.IsNaN(*job) {
@@ -100,91 +99,4 @@ func attemptProb(st repro.PlanStats, i int) float64 {
 		return st.AttemptProbs[i]
 	}
 	return 0
-}
-
-// ParseDistribution parses "name(p1,p2,...)" into a Distribution.
-func ParseDistribution(s string) (repro.Distribution, error) {
-	s = strings.TrimSpace(strings.ToLower(s))
-	open := strings.IndexByte(s, '(')
-	if open < 0 || !strings.HasSuffix(s, ")") {
-		return nil, fmt.Errorf("malformed distribution %q, want name(p1,p2,...)", s)
-	}
-	name := strings.TrimSpace(s[:open])
-	var params []float64
-	body := strings.TrimSpace(s[open+1 : len(s)-1])
-	if body != "" {
-		for _, part := range strings.Split(body, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad parameter %q in %q", part, s)
-			}
-			params = append(params, v)
-		}
-	}
-	need := func(n int) error {
-		if len(params) != n {
-			return fmt.Errorf("%s needs %d parameters, got %d", name, n, len(params))
-		}
-		return nil
-	}
-	switch name {
-	case "exponential", "exp":
-		if err := need(1); err != nil {
-			return nil, err
-		}
-		return asDist(repro.Exponential(params[0]))
-	case "weibull":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return asDist(repro.Weibull(params[0], params[1]))
-	case "gamma":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return asDist(repro.Gamma(params[0], params[1]))
-	case "lognormal":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return asDist(repro.LogNormal(params[0], params[1]))
-	case "truncnormal", "truncatednormal":
-		if err := need(3); err != nil {
-			return nil, err
-		}
-		return asDist(repro.TruncatedNormal(params[0], params[1], params[2]))
-	case "pareto":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return asDist(repro.Pareto(params[0], params[1]))
-	case "uniform":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return asDist(repro.Uniform(params[0], params[1]))
-	case "beta":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return asDist(repro.Beta(params[0], params[1]))
-	case "boundedpareto":
-		if err := need(3); err != nil {
-			return nil, err
-		}
-		return asDist(repro.BoundedPareto(params[0], params[1], params[2]))
-	default:
-		return nil, fmt.Errorf("unknown distribution %q", name)
-	}
-}
-
-// asDist normalizes a (value-type distribution, error) constructor
-// result so that failures yield a genuinely nil interface — otherwise
-// the zero struct would be boxed into a non-nil Distribution alongside
-// the error.
-func asDist[T repro.Distribution](d T, err error) (repro.Distribution, error) {
-	if err != nil {
-		return nil, err
-	}
-	return d, nil
 }

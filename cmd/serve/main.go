@@ -1,0 +1,128 @@
+// Command serve runs the HTTP plan server: the repro.Planner facade
+// behind a JSON API with response caching, request coalescing, and
+// expvar metrics (see internal/service).
+//
+// Usage:
+//
+//	serve [-addr :8080] [-cache 256] [-planner-cache 32]
+//	      [-worker-budget 0] [-request-timeout 30s] [-shutdown-grace 5s]
+//
+// The server stops gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, then waits up to -shutdown-grace for in-flight requests
+// to drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+// config is the parsed, validated command line.
+type config struct {
+	addr             string
+	cacheSize        int
+	plannerCacheSize int
+	workerBudget     int
+	requestTimeout   time.Duration
+	shutdownGrace    time.Duration
+}
+
+// parseFlags parses and validates the command line.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.cacheSize, "cache", service.DefaultCacheSize, "response cache capacity, in entries")
+	fs.IntVar(&cfg.plannerCacheSize, "planner-cache", service.DefaultPlannerCacheSize, "planner cache capacity, in entries")
+	fs.IntVar(&cfg.workerBudget, "worker-budget", 0, "max concurrent plan computations (0 = GOMAXPROCS)")
+	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "per-request computation timeout (0 = none)")
+	fs.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 5*time.Second, "graceful-shutdown drain deadline")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.addr == "" {
+		return config{}, errors.New("-addr must not be empty")
+	}
+	if cfg.cacheSize < 1 {
+		return config{}, fmt.Errorf("-cache must be at least 1, got %d", cfg.cacheSize)
+	}
+	if cfg.plannerCacheSize < 1 {
+		return config{}, fmt.Errorf("-planner-cache must be at least 1, got %d", cfg.plannerCacheSize)
+	}
+	if cfg.workerBudget < 0 {
+		return config{}, fmt.Errorf("-worker-budget must not be negative, got %d", cfg.workerBudget)
+	}
+	if cfg.requestTimeout < 0 {
+		return config{}, fmt.Errorf("-request-timeout must not be negative, got %v", cfg.requestTimeout)
+	}
+	if cfg.shutdownGrace < 0 {
+		return config{}, fmt.Errorf("-shutdown-grace must not be negative, got %v", cfg.shutdownGrace)
+	}
+	return cfg, nil
+}
+
+// run serves until the listener fails or ctx is canceled, then drains
+// gracefully.
+func run(ctx context.Context, cfg config, logger *log.Logger) error {
+	handler := service.New(service.Config{
+		CacheSize:        cfg.cacheSize,
+		PlannerCacheSize: cfg.plannerCacheSize,
+		WorkerBudget:     cfg.workerBudget,
+		RequestTimeout:   cfg.requestTimeout,
+	})
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("plan server listening on %s", cfg.addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		logger.Printf("shutting down (draining for up to %v)", cfg.shutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	if err := run(ctx, cfg, logger); err != nil {
+		logger.Fatal(err)
+	}
+}

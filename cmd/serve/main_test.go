@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" {
+		t.Errorf("addr = %q", cfg.addr)
+	}
+	if cfg.cacheSize != 256 || cfg.plannerCacheSize != 32 {
+		t.Errorf("cache sizes = %d/%d", cfg.cacheSize, cfg.plannerCacheSize)
+	}
+	if cfg.workerBudget != 0 {
+		t.Errorf("worker budget = %d", cfg.workerBudget)
+	}
+	if cfg.requestTimeout != 30*time.Second || cfg.shutdownGrace != 5*time.Second {
+		t.Errorf("timeouts = %v/%v", cfg.requestTimeout, cfg.shutdownGrace)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9090", "-cache", "8", "-planner-cache", "2",
+		"-worker-budget", "3", "-request-timeout", "1s", "-shutdown-grace", "2s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:9090" || cfg.cacheSize != 8 || cfg.plannerCacheSize != 2 ||
+		cfg.workerBudget != 3 || cfg.requestTimeout != time.Second || cfg.shutdownGrace != 2*time.Second {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseFlagsRejectsInvalid(t *testing.T) {
+	for _, args := range [][]string{
+		{"-addr", ""},
+		{"-cache", "0"},
+		{"-cache", "-1"},
+		{"-planner-cache", "0"},
+		{"-worker-budget", "-2"},
+		{"-request-timeout", "-1s"},
+		{"-shutdown-grace", "-1s"},
+		{"stray-positional"},
+		{"-no-such-flag"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunShutsDownGracefully starts the server on an ephemeral port
+// with an already-canceled context: run must drain and return nil.
+func TestRunShutsDownGracefully(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-shutdown-grace", "2s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	logger := log.New(io.Discard, "", 0)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, logger) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}

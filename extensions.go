@@ -35,23 +35,18 @@ type CheckpointParams = checkpoint.Params
 // a job distribution: the distribution is discretized (EQUAL-PROBABILITY,
 // opts.DiscN points, capped at 150 because the mixed DP is O(n³)) and
 // solved exactly. The returned policy's ExpectedCost is with respect to
-// the discretized law.
+// the discretized law. Defaults follow Options (DiscN 1000 — here
+// capped to 150 — and Epsilon 1e-7).
 func MakeCheckpointPlan(m CostModel, d Distribution, p CheckpointParams, opts Options) (CheckpointPolicy, error) {
 	if err := m.Validate(); err != nil {
 		return CheckpointPolicy{}, err
 	}
+	opts = opts.withDefaults()
 	n := opts.DiscN
-	if n <= 0 {
-		n = 100
-	}
 	if n > 150 {
 		n = 150
 	}
-	eps := opts.Epsilon
-	if eps <= 0 {
-		eps = 1e-6
-	}
-	dd, err := discretize.Discretize(d, n, eps, discretize.EqualProbability)
+	dd, err := discretize.Discretize(d, n, opts.Epsilon, discretize.EqualProbability)
 	if err != nil {
 		return CheckpointPolicy{}, err
 	}
@@ -87,14 +82,12 @@ func PowerLawSpeedup(exponent float64) (SpeedupModel, error) {
 // the job's total work, a two-dimensional cost, a speedup model and the
 // admissible processor counts, it returns the cheapest combination of
 // processor count and reservation sequence, plus every per-p solution.
+// Defaults follow Options (GridM 5000).
 func OptimizeProcs(work Distribution, cost ElasticCost, su SpeedupModel, procs []int, opts Options) (ElasticChoice, []ElasticChoice, error) {
 	if su == nil {
 		return ElasticChoice{}, nil, fmt.Errorf("repro: a speedup model is required")
 	}
-	gridM := opts.GridM
-	if gridM <= 0 {
-		gridM = 1000
-	}
-	st := strategy.BruteForce{M: gridM, Mode: strategy.EvalAnalytic}
+	opts = opts.withDefaults()
+	st := strategy.BruteForce{M: opts.GridM, Mode: strategy.EvalAnalytic, Workers: opts.Workers}
 	return resources.Optimize(work, cost, su, procs, st)
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/discretize"
 	"repro/internal/dist"
 	"repro/internal/platform"
 	"repro/internal/simulate"
@@ -87,6 +88,9 @@ func Strategies() []string {
 
 // Options tune how Plan computes a strategy. The zero value uses the
 // paper's evaluation parameters with deterministic (analytic) scoring.
+// All entry points (MakePlan, MakeCheckpointPlan, OptimizeProcs,
+// NewPlanner) resolve missing fields through the same withDefaults, so
+// the documented defaults below hold everywhere.
 type Options struct {
 	// GridM is the brute-force grid size (default 5000).
 	GridM int
@@ -110,10 +114,45 @@ type Options struct {
 	// resubmission limits real schedulers impose. Other strategies
 	// ignore it.
 	MaxAttempts int
+	// Workers bounds the brute-force scan's fan-out onto the
+	// internal/parallel pool. Zero means "up to GOMAXPROCS"; 1 forces
+	// inline (goroutine-free) evaluation, which is what a server doing
+	// request-level fan-out wants.
+	Workers int
+}
+
+// withDefaults returns o with every unset field replaced by its
+// documented default. This is the single place defaults live; every
+// facade entry point goes through it.
+func (o Options) withDefaults() Options {
+	if o.GridM <= 0 {
+		o.GridM = 5000
+	}
+	if o.SamplesN <= 0 {
+		o.SamplesN = simulate.DefaultSamples
+	}
+	if o.DiscN <= 0 {
+		o.DiscN = discretize.DefaultSamples
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = discretize.DefaultEpsilon
+	}
+	if o.PreviewLen <= 0 {
+		o.PreviewLen = 16
+	}
+	if o.MaxAttempts < 0 {
+		o.MaxAttempts = 0
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	return o
 }
 
 // Plan is a computed reservation strategy for one distribution and cost
-// model.
+// model. A Plan retains the distribution it was built from, so the
+// evaluation methods (Simulate, Stats, CostQuantile) need no
+// re-threaded state.
 type Plan struct {
 	// Strategy is the name it was built with.
 	Strategy string
@@ -127,6 +166,7 @@ type Plan struct {
 	NormalizedCost float64
 
 	model CostModel
+	dist  Distribution
 	seq   *core.Sequence
 }
 
@@ -135,9 +175,7 @@ func MakePlan(m CostModel, d Distribution, strategyName string, opts Options) (*
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.PreviewLen <= 0 {
-		opts.PreviewLen = 16
-	}
+	opts = opts.withDefaults()
 	st, err := opts.resolve(strategyName)
 	if err != nil {
 		return nil, err
@@ -146,6 +184,13 @@ func MakePlan(m CostModel, d Distribution, strategyName string, opts Options) (*
 	if err != nil {
 		return nil, fmt.Errorf("repro: strategy %s failed: %w", strategyName, err)
 	}
+	return newPlan(m, d, strategyName, opts, seq)
+}
+
+// newPlan finishes plan construction from a computed sequence: exact
+// cost, normalization, and the trimmed preview. Shared by MakePlan and
+// Planner.Plan.
+func newPlan(m CostModel, d Distribution, strategyName string, opts Options, seq *core.Sequence) (*Plan, error) {
 	e, err := core.ExpectedCost(m, d, seq.Clone())
 	if err != nil {
 		return nil, fmt.Errorf("repro: cost evaluation failed: %w", err)
@@ -166,17 +211,19 @@ func MakePlan(m CostModel, d Distribution, strategyName string, opts Options) (*
 		ExpectedCost:   e,
 		NormalizedCost: e / m.OmniscientCost(d),
 		model:          m,
+		dist:           d,
 		seq:            seq,
 	}, nil
 }
 
-// resolve maps a strategy name to its implementation.
+// resolve maps a strategy name to its implementation. The receiver
+// must already be defaulted via withDefaults.
 func (o Options) resolve(name string) (strategy.Strategy, error) {
 	mode := strategy.EvalAnalytic
 	if o.MonteCarlo {
 		mode = strategy.EvalMonteCarlo
 	}
-	bf := strategy.BruteForce{M: o.GridM, N: o.SamplesN, Mode: mode, Seed: o.Seed}
+	bf := strategy.BruteForce{M: o.GridM, N: o.SamplesN, Mode: mode, Seed: o.Seed, Workers: o.Workers}
 	switch name {
 	case StrategyBruteForce, "":
 		return bf, nil
@@ -202,6 +249,12 @@ func (o Options) resolve(name string) (strategy.Strategy, error) {
 // Sequence returns the underlying (lazy) reservation sequence.
 func (p *Plan) Sequence() *Sequence { return p.seq }
 
+// Distribution returns the execution-time law the plan was built from.
+func (p *Plan) Distribution() Distribution { return p.dist }
+
+// CostModel returns the cost model the plan was built with.
+func (p *Plan) CostModel() CostModel { return p.model }
+
 // CostFor returns the total cost and the number of reservations paid
 // for a job of actual duration t under this plan.
 func (p *Plan) CostFor(t float64) (cost float64, attempts int, err error) {
@@ -211,8 +264,8 @@ func (p *Plan) CostFor(t float64) (cost float64, attempts int, err error) {
 // Simulate estimates the plan's expected cost over n sampled jobs (the
 // paper's Monte-Carlo protocol) and returns the normalized estimate and
 // its standard error.
-func (p *Plan) Simulate(d Distribution, n int, seed uint64) (normalized, stderr float64, err error) {
-	est, err := simulate.NormalizedCostOnSamples(p.model, d, p.seq.Clone(), simulate.Samples(d, n, seed), 0)
+func (p *Plan) Simulate(n int, seed uint64) (normalized, stderr float64, err error) {
+	est, err := simulate.NormalizedCostOnSamples(p.model, p.dist, p.seq.Clone(), simulate.Samples(p.dist, n, seed), 0)
 	if err != nil {
 		return math.NaN(), math.NaN(), err
 	}
@@ -232,14 +285,13 @@ type PlanStats = core.SequenceStats
 
 // Stats returns the plan's exact operating statistics (expected
 // attempts, reserved and used time, utilization, attempt-count
-// distribution) for the given distribution.
-func (p *Plan) Stats(d Distribution) (PlanStats, error) {
-	return core.Stats(p.model, d, p.seq.Clone())
+// distribution).
+func (p *Plan) Stats() (PlanStats, error) {
+	return core.Stats(p.model, p.dist, p.seq.Clone())
 }
 
-// CostQuantile returns the p-quantile of the plan's total cost for the
-// given distribution — e.g. CostQuantile(d, 0.99) is the paid cost a
-// job exceeds with probability 1%.
-func (p *Plan) CostQuantile(d Distribution, prob float64) (float64, error) {
-	return core.CostQuantile(p.model, d, p.seq.Clone(), prob)
+// CostQuantile returns the p-quantile of the plan's total cost — e.g.
+// CostQuantile(0.99) is the paid cost a job exceeds with probability 1%.
+func (p *Plan) CostQuantile(prob float64) (float64, error) {
+	return core.CostQuantile(p.model, p.dist, p.seq.Clone(), prob)
 }

@@ -81,7 +81,7 @@ func TestPlanSimulateAgreesWithAnalytic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	norm, se, err := p.Simulate(d, 50000, 3)
+	norm, se, err := p.Simulate(50000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestPlanStatsAndQuantiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := p.Stats(d)
+	st, err := p.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,11 +172,11 @@ func TestPlanStatsAndQuantiles(t *testing.T) {
 	if math.Abs(st.ExpectedCost-p.ExpectedCost) > 1e-9*p.ExpectedCost {
 		t.Errorf("stats cost %g vs plan cost %g", st.ExpectedCost, p.ExpectedCost)
 	}
-	p50, err := p.CostQuantile(d, 0.5)
+	p50, err := p.CostQuantile(0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p99, err := p.CostQuantile(d, 0.99)
+	p99, err := p.CostQuantile(0.99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestMakePlanMaxAttempts(t *testing.T) {
 	}
 	// The truncation-covering part of the capped plan uses at most 2
 	// reservations (the doubling tail beyond carries ~1e-7 mass).
-	st, err := capped.Stats(d)
+	st, err := capped.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,7 +64,7 @@ func TestEndToEndNeuroHPCPipeline(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		// Analytic and Monte-Carlo evaluations agree for every plan.
-		norm, se, err := p.Simulate(d, 20000, 23)
+		norm, se, err := p.Simulate(20000, 23)
 		if err != nil {
 			t.Fatalf("%s simulate: %v", name, err)
 		}

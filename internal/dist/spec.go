@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Speccer is implemented by distributions with a canonical textual
+// specification in the grammar "name(p1,p2,...)" accepted by the
+// facade's ParseDistribution. The spec round-trips: parsing it yields
+// a distribution with identical parameters, and re-speccing that
+// yields the identical string. The nine Table-1 laws implement it;
+// derived laws (empirical, mixtures, scaled/shifted wrappers) do not —
+// they have no finite parameter vector in the grammar.
+type Speccer interface {
+	// Spec returns the canonical "name(p1,p2,...)" form.
+	Spec() string
+}
+
+// spec renders one canonical "name(p1,p2,...)" string. Parameters use
+// the shortest decimal representation that parses back to the exact
+// same float64, so Spec∘Parse and Parse∘Spec are both identities.
+func spec(name string, params ...float64) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('(')
+	for i, p := range params {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Spec implements Speccer.
+func (d Exponential) Spec() string { return spec("exponential", d.lambda) }
+
+// Spec implements Speccer.
+func (d Weibull) Spec() string { return spec("weibull", d.scale, d.shape) }
+
+// Spec implements Speccer.
+func (d Gamma) Spec() string { return spec("gamma", d.shape, d.rate) }
+
+// Spec implements Speccer.
+func (d LogNormal) Spec() string { return spec("lognormal", d.mu, d.sigma) }
+
+// Spec implements Speccer.
+func (d TruncatedNormal) Spec() string { return spec("truncnormal", d.mu, d.sigma, d.a) }
+
+// Spec implements Speccer.
+func (d Pareto) Spec() string { return spec("pareto", d.scale, d.alpha) }
+
+// Spec implements Speccer.
+func (d Uniform) Spec() string { return spec("uniform", d.a, d.b) }
+
+// Spec implements Speccer.
+func (d BetaDist) Spec() string { return spec("beta", d.alpha, d.beta) }
+
+// Spec implements Speccer.
+func (d BoundedPareto) Spec() string { return spec("boundedpareto", d.l, d.h, d.alpha) }
+
+// SpecOf returns the canonical spec of d and whether it has one.
+func SpecOf(d Distribution) (string, bool) {
+	if s, ok := d.(Speccer); ok {
+		return s.Spec(), true
+	}
+	return "", false
+}

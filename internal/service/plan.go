@@ -1,0 +1,404 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+// costModelJSON mirrors repro.CostModel on the wire.
+type costModelJSON struct {
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	Gamma float64 `json:"gamma"`
+}
+
+// optionsJSON mirrors repro.Options on the wire. Workers is absent on
+// purpose: the server always computes inline (Workers = 1) and scales
+// across requests instead.
+type optionsJSON struct {
+	GridM       int     `json:"grid_m,omitempty"`
+	SamplesN    int     `json:"samples_n,omitempty"`
+	DiscN       int     `json:"disc_n,omitempty"`
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	MonteCarlo  bool    `json:"monte_carlo,omitempty"`
+	PreviewLen  int     `json:"preview_len,omitempty"`
+	MaxAttempts int     `json:"max_attempts,omitempty"`
+}
+
+// planRequest is the body of POST /v1/plan.
+type planRequest struct {
+	// Distribution is a canonical spec, e.g. "lognormal(3,0.5)".
+	Distribution string        `json:"distribution"`
+	CostModel    costModelJSON `json:"cost_model"`
+	// Strategy is a repro.Strategies() name; empty means brute-force.
+	Strategy string      `json:"strategy,omitempty"`
+	Options  optionsJSON `json:"options,omitempty"`
+}
+
+// simulateRequest is the body of POST /v1/simulate: a plan request
+// plus the Monte-Carlo evaluation parameters.
+type simulateRequest struct {
+	planRequest
+	// Samples is the number of sampled jobs (default 1000).
+	Samples int `json:"samples,omitempty"`
+	// SimSeed drives the evaluation sampler (independent of
+	// options.seed, which drives Monte-Carlo *scoring*).
+	SimSeed uint64 `json:"sim_seed,omitempty"`
+}
+
+// planStatsJSON is the closed-form operating statistics included in a
+// plan response.
+type planStatsJSON struct {
+	ExpectedAttempts float64 `json:"expected_attempts"`
+	ExpectedReserved float64 `json:"expected_reserved"`
+	ExpectedUsed     float64 `json:"expected_used"`
+	Utilization      float64 `json:"utilization"`
+}
+
+// planResponse is the body of a successful POST /v1/plan.
+type planResponse struct {
+	Plan  repro.PlanSummary `json:"plan"`
+	Stats *planStatsJSON    `json:"stats,omitempty"`
+}
+
+// simulateResponse is the body of a successful POST /v1/simulate.
+type simulateResponse struct {
+	Plan           repro.PlanSummary `json:"plan"`
+	Samples        int               `json:"samples"`
+	SimSeed        uint64            `json:"sim_seed"`
+	NormalizedCost float64           `json:"normalized_cost"`
+	StdErr         float64           `json:"std_err"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// planInputs is a validated, canonicalized plan request.
+type planInputs struct {
+	planner  *repro.Planner
+	dist     repro.Distribution
+	strategy string // canonical: never empty
+	key      string // canonical cache key, without endpoint prefix
+}
+
+// apiError pairs an HTTP status with a structured error code.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{http.StatusBadRequest, "bad_request", fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON strictly decodes one JSON value from the request body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) *apiError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid JSON request: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid JSON request: trailing data after the JSON body")
+	}
+	return nil
+}
+
+// formatFloat renders v in the shortest form that round-trips, so
+// canonical keys are stable across spellings of the same number.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// plannerKey canonically serializes a validated cost model and fully
+// defaulted option set.
+func plannerKey(m repro.CostModel, o repro.Options) string {
+	return strings.Join([]string{
+		"alpha=" + formatFloat(m.Alpha),
+		"beta=" + formatFloat(m.Beta),
+		"gamma=" + formatFloat(m.Gamma),
+		"grid=" + strconv.Itoa(o.GridM),
+		"samples=" + strconv.Itoa(o.SamplesN),
+		"disc=" + strconv.Itoa(o.DiscN),
+		"eps=" + formatFloat(o.Epsilon),
+		"seed=" + strconv.FormatUint(o.Seed, 10),
+		"mc=" + strconv.FormatBool(o.MonteCarlo),
+		"preview=" + strconv.Itoa(o.PreviewLen),
+		"attempts=" + strconv.Itoa(o.MaxAttempts),
+	}, "|")
+}
+
+// resolveInputs validates a plan request and canonicalizes it into a
+// Planner (shared across requests with the same model and options), a
+// parsed distribution, and a cache key. Two requests that spell the
+// same plan differently — "exp(1)" vs "exponential(1.0)", an omitted
+// option vs its default, an empty strategy vs "brute-force" — resolve
+// to the same key.
+func (s *Server) resolveInputs(req planRequest) (*planInputs, *apiError) {
+	if strings.TrimSpace(req.Distribution) == "" {
+		return nil, badRequest("missing distribution spec (e.g. \"lognormal(3,0.5)\")")
+	}
+	d, err := repro.ParseDistribution(req.Distribution)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	strat := req.Strategy
+	if strat == "" {
+		strat = repro.StrategyBruteForce
+	}
+	if !s.strategies[strat] {
+		return nil, badRequest("unknown strategy %q (have %v)", req.Strategy, repro.Strategies())
+	}
+	model := repro.CostModel{Alpha: req.CostModel.Alpha, Beta: req.CostModel.Beta, Gamma: req.CostModel.Gamma}
+	opts := repro.Options{
+		GridM:       req.Options.GridM,
+		SamplesN:    req.Options.SamplesN,
+		DiscN:       req.Options.DiscN,
+		Epsilon:     req.Options.Epsilon,
+		Seed:        req.Options.Seed,
+		MonteCarlo:  req.Options.MonteCarlo,
+		PreviewLen:  req.Options.PreviewLen,
+		MaxAttempts: req.Options.MaxAttempts,
+		Workers:     1, // inline: the server parallelizes across requests
+	}
+	pl, plKey, err := s.planner(model, opts)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	spec := req.Distribution
+	if canonical, err := repro.DistributionSpec(d); err == nil {
+		spec = canonical
+	}
+	return &planInputs{
+		planner:  pl,
+		dist:     d,
+		strategy: strat,
+		key:      plKey + "|dist=" + spec + "|strategy=" + strat,
+	}, nil
+}
+
+// planner returns the cached Planner for (model, opts), constructing
+// and caching one on a miss. Construction validates the model and
+// resolves the option defaults, so the returned key is canonical. A
+// concurrent miss may build two equivalent Planners; either works and
+// the cache converges on one.
+func (s *Server) planner(model repro.CostModel, opts repro.Options) (*repro.Planner, string, error) {
+	pl, err := repro.NewPlanner(model, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	key := plannerKey(pl.CostModel(), pl.Options())
+	if cached, ok := s.planners.Get(key); ok {
+		return cached, key, nil
+	}
+	s.planners.Put(key, pl)
+	return pl, key, nil
+}
+
+// handlePlan implements POST /v1/plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.instrumented(w, r, "plan", func(w http.ResponseWriter, r *http.Request) {
+		var req planRequest
+		if aerr := decodeJSON(w, r, &req); aerr != nil {
+			s.writeAPIError(w, aerr)
+			return
+		}
+		in, aerr := s.resolveInputs(req)
+		if aerr != nil {
+			s.writeAPIError(w, aerr)
+			return
+		}
+		s.respond(w, r, "plan|"+in.key, func() ([]byte, error) {
+			p, err := in.planner.Plan(in.dist, in.strategy)
+			if err != nil {
+				return nil, err
+			}
+			resp := planResponse{Plan: p.Summary()}
+			if st, err := p.Stats(); err == nil {
+				resp.Stats = &planStatsJSON{
+					ExpectedAttempts: st.ExpectedAttempts,
+					ExpectedReserved: st.ExpectedReserved,
+					ExpectedUsed:     st.ExpectedUsed,
+					Utilization:      st.Utilization,
+				}
+			}
+			return marshalBody(resp)
+		})
+	})
+}
+
+// handleSimulate implements POST /v1/simulate.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.instrumented(w, r, "simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req simulateRequest
+		if aerr := decodeJSON(w, r, &req); aerr != nil {
+			s.writeAPIError(w, aerr)
+			return
+		}
+		if req.Samples < 0 {
+			s.writeAPIError(w, badRequest("samples must be positive, got %d", req.Samples))
+			return
+		}
+		if req.Samples == 0 {
+			req.Samples = 1000
+		}
+		in, aerr := s.resolveInputs(req.planRequest)
+		if aerr != nil {
+			s.writeAPIError(w, aerr)
+			return
+		}
+		key := "sim|" + in.key +
+			"|n=" + strconv.Itoa(req.Samples) +
+			"|simseed=" + strconv.FormatUint(req.SimSeed, 10)
+		s.respond(w, r, key, func() ([]byte, error) {
+			p, err := in.planner.Plan(in.dist, in.strategy)
+			if err != nil {
+				return nil, err
+			}
+			normalized, stderr, err := p.Simulate(req.Samples, req.SimSeed)
+			if err != nil {
+				return nil, err
+			}
+			return marshalBody(simulateResponse{
+				Plan:           p.Summary(),
+				Samples:        req.Samples,
+				SimSeed:        req.SimSeed,
+				NormalizedCost: normalized,
+				StdErr:         stderr,
+			})
+		})
+	})
+}
+
+// instrumented wraps a POST handler with the shared method check and
+// the request / in-flight / latency metrics.
+func (s *Server) instrumented(w http.ResponseWriter, r *http.Request, endpoint string, h http.HandlerFunc) {
+	start := s.now()
+	s.metrics.requests.Add(endpoint, 1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+	defer func() {
+		s.metrics.latencyNS.Add(endpoint, s.now().Sub(start).Nanoseconds())
+	}()
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	h(w, r)
+}
+
+// respond serves a computed response for key: from the byte cache on a
+// hit, otherwise through the singleflight group, bounded by the worker
+// semaphore, honoring the per-request timeout. Cache hits return the
+// exact bytes the original miss stored, so identical requests are
+// byte-identical regardless of path; only the X-Cache header (hit,
+// miss, coalesced) distinguishes them.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		writeBody(w, "hit", body)
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	type result struct {
+		body   []byte
+		err    error
+		shared bool
+	}
+	ch := make(chan result, 1)
+	go func() {
+		body, err, shared := s.flight.Do(key, func() ([]byte, error) {
+			if s.computeGate != nil {
+				s.computeGate(key)
+			}
+			s.acquire()
+			defer s.release()
+			b, err := compute()
+			if err == nil {
+				s.cache.Put(key, b)
+			}
+			return b, err
+		})
+		ch <- result{body, err, shared}
+	}()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			s.writeError(w, http.StatusInternalServerError, "plan_failed", res.err.Error())
+			return
+		}
+		if res.shared {
+			s.metrics.coalesced.Add(1)
+			writeBody(w, "coalesced", res.body)
+			return
+		}
+		s.metrics.cacheMisses.Add(1)
+		writeBody(w, "miss", res.body)
+	case <-ctx.Done():
+		// The computation keeps running detached and will populate the
+		// cache for later requests; this request reports the timeout.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.writeError(w, http.StatusGatewayTimeout, "timeout",
+				"computation exceeded the request timeout of "+s.cfg.RequestTimeout.String())
+			return
+		}
+		s.writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled")
+	}
+}
+
+// marshalBody renders a response payload. One serialization point
+// keeps cached bytes and freshly computed bytes identical.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// writeBody writes a successful JSON response with its cache verdict.
+func writeBody(w http.ResponseWriter, cacheState string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	_, _ = w.Write(body)
+}
+
+// writeError writes the structured JSON error body and counts it.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	s.metrics.errors.Add(code, 1)
+	var resp errorResponse
+	resp.Error.Code = code
+	resp.Error.Message = message
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		// Unreachable: errorResponse always marshals.
+		http.Error(w, message, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
+}
+
+func (s *Server) writeAPIError(w http.ResponseWriter, aerr *apiError) {
+	s.writeError(w, aerr.status, aerr.code, aerr.message)
+}

@@ -1,0 +1,206 @@
+// Package service implements the HTTP plan server: a JSON API over the
+// repro.Planner facade.
+//
+// Endpoints:
+//
+//	POST /v1/plan      — compute a reservation plan
+//	POST /v1/simulate  — compute a plan and Monte-Carlo-evaluate it
+//	GET  /healthz      — liveness probe
+//	GET  /debug/vars   — expvar-style JSON metrics
+//
+// Responses are cached in a bounded LRU keyed by a canonical
+// serialization of (distribution spec, cost model, strategy, options),
+// so a cache hit returns bytes identical to the miss that populated
+// it. Concurrent identical requests are coalesced through a
+// singleflight group: one computation runs, every duplicate waits for
+// its result. The X-Cache response header reports which path served
+// the request (hit, miss, or coalesced); the body never varies.
+//
+// Plan computations run with Options.Workers = 1, i.e. inline, with
+// zero goroutines spawned on the internal/parallel pool; parallelism
+// comes from serving requests concurrently instead, bounded by a
+// semaphore of WorkerBudget slots. The pool's worker gauge
+// (workers_active / workers_peak in /debug/vars) therefore stays at
+// zero no matter the request load — the budget is visible as the
+// in_flight counter instead.
+package service
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/lru"
+	"repro/internal/parallel"
+)
+
+// Default configuration values, used when the corresponding Config
+// field is unset.
+const (
+	DefaultCacheSize        = 256
+	DefaultPlannerCacheSize = 32
+)
+
+// maxRequestBytes bounds how much of a request body the decoder reads.
+const maxRequestBytes = 1 << 20
+
+// Config tunes a Server. The zero value is usable: unset fields take
+// the documented defaults.
+type Config struct {
+	// CacheSize bounds the response cache, in entries (default 256).
+	CacheSize int
+	// PlannerCacheSize bounds how many Planners — one per distinct
+	// (cost model, options) pair — the server retains (default 32).
+	PlannerCacheSize int
+	// RequestTimeout bounds each request's computation; zero means no
+	// timeout. A timed-out computation keeps running in the background
+	// and still populates the cache.
+	RequestTimeout time.Duration
+	// WorkerBudget caps the number of plan computations running at
+	// once (default GOMAXPROCS). Each computation is single-threaded
+	// (Options.Workers is forced to 1), so the budget is also a bound
+	// on the CPUs the server consumes.
+	WorkerBudget int
+	// Now supplies timestamps for the latency metrics; nil selects
+	// time.Now. Tests inject a fake clock here.
+	Now func() time.Time
+}
+
+// Server is the HTTP plan service. Construct with New; safe for
+// concurrent use.
+type Server struct {
+	cfg        Config
+	mux        *http.ServeMux
+	planners   *lru.Cache[string, *repro.Planner]
+	cache      *lru.Cache[string, []byte]
+	flight     flightGroup
+	sem        chan struct{}
+	metrics    *metrics
+	strategies map[string]bool
+
+	// computeGate, when non-nil (tests only), is invoked with the
+	// cache key at the start of every underlying computation, before
+	// any work. Tests use it to count and to stall computations.
+	computeGate func(key string)
+}
+
+// New builds a Server from cfg, applying defaults for unset fields.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.PlannerCacheSize <= 0 {
+		cfg.PlannerCacheSize = DefaultPlannerCacheSize
+	}
+	if cfg.WorkerBudget <= 0 {
+		cfg.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		planners:   lru.New[string, *repro.Planner](cfg.PlannerCacheSize),
+		cache:      lru.New[string, []byte](cfg.CacheSize),
+		sem:        make(chan struct{}, cfg.WorkerBudget),
+		strategies: make(map[string]bool),
+	}
+	for _, name := range repro.Strategies() {
+		s.strategies[name] = true
+	}
+	s.metrics = newMetrics(s.cache.Len)
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	s.mux.HandleFunc("/", s.handleNotFound)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) now() time.Time { return s.cfg.Now() }
+
+// acquire takes one of the WorkerBudget computation slots.
+func (s *Server) acquire() { s.sem <- struct{}{} }
+
+// release returns a computation slot.
+func (s *Server) release() { <-s.sem }
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add("healthz", 1)
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+// handleVars implements GET /debug/vars. The metrics live in an
+// unregistered expvar.Map so that many Servers — e.g. in tests — can
+// coexist in one process without colliding in the global expvar
+// registry; expvar's own handler is therefore not used.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add("vars", 1)
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.WriteString(w, s.metrics.vars.String())
+	_, _ = io.WriteString(w, "\n")
+}
+
+// handleNotFound is the catch-all route.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add("other", 1)
+	s.writeError(w, http.StatusNotFound, "not_found",
+		"unknown path "+r.URL.Path+"; endpoints are /v1/plan, /v1/simulate, /healthz, /debug/vars")
+}
+
+// metrics is the per-server expvar state. The map is deliberately NOT
+// published to the global expvar registry (Publish panics on duplicate
+// names, and each Server owns its own counters).
+type metrics struct {
+	vars        *expvar.Map
+	requests    *expvar.Map // request count per endpoint
+	errors      *expvar.Map // error count per code
+	latencyNS   *expvar.Map // cumulative handler nanoseconds per endpoint
+	cacheHits   *expvar.Int
+	cacheMisses *expvar.Int
+	coalesced   *expvar.Int // requests served by joining another's computation
+	inFlight    *expvar.Int
+}
+
+func newMetrics(cacheLen func() int) *metrics {
+	m := &metrics{
+		vars:        new(expvar.Map).Init(),
+		requests:    new(expvar.Map).Init(),
+		errors:      new(expvar.Map).Init(),
+		latencyNS:   new(expvar.Map).Init(),
+		cacheHits:   new(expvar.Int),
+		cacheMisses: new(expvar.Int),
+		coalesced:   new(expvar.Int),
+		inFlight:    new(expvar.Int),
+	}
+	m.vars.Set("requests", m.requests)
+	m.vars.Set("errors", m.errors)
+	m.vars.Set("latency_ns", m.latencyNS)
+	m.vars.Set("cache_hits", m.cacheHits)
+	m.vars.Set("cache_misses", m.cacheMisses)
+	m.vars.Set("coalesced", m.coalesced)
+	m.vars.Set("in_flight", m.inFlight)
+	m.vars.Set("cache_entries", expvar.Func(func() any { return cacheLen() }))
+	m.vars.Set("workers_active", expvar.Func(func() any { return parallel.ActiveWorkers() }))
+	m.vars.Set("workers_peak", expvar.Func(func() any { return parallel.PeakWorkers() }))
+	return m
+}

@@ -1,0 +1,55 @@
+package service
+
+import "sync"
+
+// call is one in-flight computation in a flightGroup.
+type call struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// flightGroup coalesces concurrent computations that share a key: the
+// first caller runs fn, every duplicate arriving before it finishes
+// blocks and receives the same result. Keys are forgotten as soon as
+// the leader returns, so later requests recompute (or, in the server,
+// hit the response cache instead).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+
+	// onJoin, when non-nil (tests only), is invoked with the key each
+	// time a caller joins an in-flight computation instead of starting
+	// its own. It lets tests detect that every expected duplicate has
+	// coalesced before they unblock the leader.
+	onJoin func(key string)
+}
+
+// Do returns the result of fn for key, running fn at most once across
+// all concurrent callers. shared reports whether this caller joined a
+// computation started by another request.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		if g.onJoin != nil {
+			g.onJoin(key)
+		}
+		<-c.done
+		return c.body, c.err, true
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, c.err, false
+}

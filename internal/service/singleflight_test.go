@@ -1,0 +1,73 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlightGroupSingleLeader: N concurrent callers of one key run fn
+// exactly once and all observe the same bytes.
+func TestFlightGroupSingleLeader(t *testing.T) {
+	var g flightGroup
+	const n = 32
+	var executions atomic.Int32
+	var joins atomic.Int32
+	g.onJoin = func(string) { joins.Add(1) }
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err, shared := g.Do("k", func() ([]byte, error) {
+				executions.Add(1)
+				<-release
+				return []byte("payload"), nil
+			})
+			if err != nil || string(body) != "payload" {
+				t.Errorf("Do = %q, %v", body, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Wait for every follower to have coalesced, then let the leader run.
+	waitFor(t, "followers to coalesce", func() bool { return joins.Load() == n-1 })
+	close(release)
+	wg.Wait()
+	if got := executions.Load(); got != 1 {
+		t.Errorf("fn executed %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Errorf("%d shared results, want %d", got, n-1)
+	}
+}
+
+// TestFlightGroupDistinctKeys: different keys do not coalesce.
+func TestFlightGroupDistinctKeys(t *testing.T) {
+	var g flightGroup
+	a, _, _ := g.Do("a", func() ([]byte, error) { return []byte("A"), nil })
+	b, _, _ := g.Do("b", func() ([]byte, error) { return []byte("B"), nil })
+	if string(a) != "A" || string(b) != "B" {
+		t.Errorf("results %q/%q", a, b)
+	}
+}
+
+// TestFlightGroupErrorPropagates: a failed computation reaches every
+// coalesced caller, and the key is forgotten afterwards.
+func TestFlightGroupErrorPropagates(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	if _, err, _ := g.Do("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	// The failure was not cached: a later call runs fn again.
+	body, err, shared := g.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(body) != "ok" || shared {
+		t.Errorf("retry = %q, %v, shared=%v", body, err, shared)
+	}
+}

@@ -1,0 +1,116 @@
+package repro
+
+// The canonical distribution grammar shared by the CLI (`reserve
+// -dist`), the plan service (internal/service), and PlanSummary:
+// "name(p1,p2,...)", case-insensitive, whitespace-tolerant.
+// ParseDistribution and DistributionSpec are inverses on the nine
+// Table-1 laws: ParseDistribution(DistributionSpec(d)) reproduces d's
+// parameters exactly, and DistributionSpec(ParseDistribution(s))
+// yields the canonical form of s.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+)
+
+// ParseDistribution parses "name(p1,p2,...)" into a Distribution.
+// Accepted names: exponential (exp), weibull, gamma, lognormal,
+// truncnormal (truncatednormal), pareto, uniform, beta, boundedpareto.
+func ParseDistribution(s string) (Distribution, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("repro: malformed distribution %q, want name(p1,p2,...)", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	var params []float64
+	body := strings.TrimSpace(s[open+1 : len(s)-1])
+	if body != "" {
+		for _, part := range strings.Split(body, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("repro: bad parameter %q in %q", part, s)
+			}
+			params = append(params, v)
+		}
+	}
+	need := func(n int) error {
+		if len(params) != n {
+			return fmt.Errorf("repro: %s needs %d parameters, got %d", name, n, len(params))
+		}
+		return nil
+	}
+	switch name {
+	case "exponential", "exp":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return asDist(Exponential(params[0]))
+	case "weibull":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(Weibull(params[0], params[1]))
+	case "gamma":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(Gamma(params[0], params[1]))
+	case "lognormal":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(LogNormal(params[0], params[1]))
+	case "truncnormal", "truncatednormal":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return asDist(TruncatedNormal(params[0], params[1], params[2]))
+	case "pareto":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(Pareto(params[0], params[1]))
+	case "uniform":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(Uniform(params[0], params[1]))
+	case "beta":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return asDist(Beta(params[0], params[1]))
+	case "boundedpareto":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return asDist(BoundedPareto(params[0], params[1], params[2]))
+	default:
+		return nil, fmt.Errorf("repro: unknown distribution %q", name)
+	}
+}
+
+// DistributionSpec returns the canonical "name(p1,p2,...)" form of d,
+// suitable for ParseDistribution, cache keys, and PlanSummary. It
+// fails for laws outside the grammar (empirical, mixtures, wrappers).
+func DistributionSpec(d Distribution) (string, error) {
+	if s, ok := dist.SpecOf(d); ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("repro: %s has no canonical spec", d.Name())
+}
+
+// asDist normalizes a (value-type distribution, error) constructor
+// result so that failures yield a genuinely nil interface — otherwise
+// the zero struct would be boxed into a non-nil Distribution alongside
+// the error.
+func asDist[T Distribution](d T, err error) (Distribution, error) {
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

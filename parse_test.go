@@ -1,0 +1,192 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseDistributionValid(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantName string
+		wantMean float64
+	}{
+		{"exponential(1)", "Exponential", 1},
+		{"exp(2)", "Exponential", 0.5},
+		{"weibull(1,0.5)", "Weibull", 2},
+		{"gamma(2,2)", "Gamma", 1},
+		{"lognormal(3,0.5)", "LogNormal", math.Exp(3.125)},
+		{"truncnormal(8,1.4142135623730951,0)", "TruncatedNormal", 0}, // mean checked loosely below
+		{"pareto(1.5,3)", "Pareto", 2.25},
+		{"uniform(10,20)", "Uniform", 15},
+		{"beta(2,2)", "Beta", 0.5},
+		{"boundedpareto(1,20,2.1)", "BoundedPareto", 0},
+		{"  Uniform( 10 , 20 ) ", "Uniform", 15}, // whitespace and case
+	}
+	for _, c := range cases {
+		d, err := ParseDistribution(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if !strings.Contains(d.Name(), c.wantName) {
+			t.Errorf("%q parsed to %s", c.in, d.Name())
+		}
+		if c.wantMean > 0 && math.Abs(d.Mean()-c.wantMean) > 1e-9*c.wantMean {
+			t.Errorf("%q: mean %g, want %g", c.in, d.Mean(), c.wantMean)
+		}
+	}
+}
+
+func TestParseDistributionInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"exponential",         // no parens
+		"exponential(",        // unbalanced
+		"exponential()",       // missing param
+		"exponential(1,2)",    // too many params
+		"exponential(zero)",   // non-numeric
+		"exponential(-1)",     // constructor rejects
+		"uniform(20,10)",      // constructor rejects
+		"nosuchlaw(1)",        // unknown
+		"weibull(1)",          // arity
+		"boundedpareto(1,20)", // arity
+	}
+	for _, in := range bad {
+		if _, err := ParseDistribution(in); err == nil {
+			t.Errorf("%q accepted", in)
+		}
+	}
+}
+
+// TestDistributionSpecRoundTrip: Spec∘Parse is the identity on
+// canonical specs, and Parse∘Spec reproduces the distribution exactly
+// (Name carries the full parameter vector).
+func TestDistributionSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"exponential(1)",
+		"exponential(0.3333333333333333)",
+		"weibull(1,0.5)",
+		"gamma(2,2)",
+		"lognormal(7.1128,0.2039)",
+		"truncnormal(8,1.4142135623730951,0)",
+		"pareto(1.5,3)",
+		"uniform(10,20)",
+		"beta(2,2)",
+		"boundedpareto(1,20,2.1)",
+	}
+	for _, s := range specs {
+		d, err := ParseDistribution(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		got, err := DistributionSpec(d)
+		if err != nil {
+			t.Fatalf("%q: spec: %v", s, err)
+		}
+		if got != s {
+			t.Errorf("spec round-trip %q -> %q", s, got)
+		}
+		back, err := ParseDistribution(got)
+		if err != nil {
+			t.Fatalf("%q: reparse: %v", got, err)
+		}
+		if back.Name() != d.Name() {
+			t.Errorf("%q: reparse changed law: %s vs %s", s, back.Name(), d.Name())
+		}
+	}
+}
+
+// TestDistributionSpecCanonicalizes: aliases and formatting variants
+// map onto one canonical spec.
+func TestDistributionSpecCanonicalizes(t *testing.T) {
+	variants := []string{"exp(1)", "Exponential(1.0)", " exponential( 1 ) ", "exponential(1e0)"}
+	for _, v := range variants {
+		d, err := ParseDistribution(v)
+		if err != nil {
+			t.Fatalf("%q: %v", v, err)
+		}
+		got, err := DistributionSpec(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "exponential(1)" {
+			t.Errorf("%q canonicalized to %q", v, got)
+		}
+	}
+}
+
+// TestDistributionSpecUnsupported: laws outside the grammar report a
+// clean error.
+func TestDistributionSpecUnsupported(t *testing.T) {
+	emp, err := Empirical([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributionSpec(emp); err == nil {
+		t.Error("empirical law unexpectedly has a spec")
+	}
+	a, _ := Exponential(1)
+	b, _ := Exponential(2)
+	mix, err := Mixture([]Distribution{a, b}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributionSpec(mix); err == nil {
+		t.Error("mixture unexpectedly has a spec")
+	}
+}
+
+// FuzzParseDistribution hardens the shared distribution parser:
+// arbitrary input must either produce a usable distribution or a clean
+// error — never a panic, NaN mean, or invalid support. Successful
+// parses of Speccer laws must also spec-round-trip.
+func FuzzParseDistribution(f *testing.F) {
+	seeds := []string{
+		"exponential(1)", "exp(0.5)", "weibull(1,0.5)", "gamma(2,2)",
+		"lognormal(3,0.5)", "truncnormal(8,1.41,0)", "pareto(1.5,3)",
+		"uniform(10,20)", "beta(2,2)", "boundedpareto(1,20,2.1)",
+		"", "()", "exp", "exp()", "exp(,)", "exp(1,2,3)", "exp(1e309)",
+		"exp(-1)", "exp(nan)", "exp(inf)", "uniform(20,10)",
+		"EXPONENTIAL(1)", " beta ( 2 , 2 ) ", "beta(2,2))", "((",
+		"lognormal(0,0)", "pareto(0,3)", "weird(1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ParseDistribution(in)
+		if err != nil {
+			if d != nil {
+				t.Errorf("%q: non-nil distribution with error %v", in, err)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatalf("%q: nil distribution without error", in)
+		}
+		m := d.Mean()
+		if math.IsNaN(m) || m < 0 {
+			t.Errorf("%q: invalid mean %g", in, m)
+		}
+		lo, hi := d.Support()
+		if math.IsNaN(lo) || lo < 0 || !(hi > lo) {
+			t.Errorf("%q: invalid support [%g, %g]", in, lo, hi)
+		}
+		// The quantile at the median must be inside the support.
+		med := d.Quantile(0.5)
+		if med < lo-1e-9 || (!math.IsInf(hi, 1) && med > hi+1e-9) {
+			t.Errorf("%q: median %g outside [%g, %g]", in, med, lo, hi)
+		}
+		spec, err := DistributionSpec(d)
+		if err != nil {
+			t.Fatalf("%q: parsed law has no spec: %v", in, err)
+		}
+		back, err := ParseDistribution(spec)
+		if err != nil {
+			t.Errorf("%q: canonical spec %q does not reparse: %v", in, spec, err)
+		} else if back.Name() != d.Name() {
+			t.Errorf("%q: spec %q reparses to %s, want %s", in, spec, back.Name(), d.Name())
+		}
+	})
+}

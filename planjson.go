@@ -1,12 +1,19 @@
 package repro
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // PlanSummary is the machine-readable form of a Plan, as emitted by
-// Plan.JSON and `reserve -json`.
+// Plan.JSON, `reserve -json`, and the plan service's /v1/plan endpoint.
 type PlanSummary struct {
 	// Strategy is the strategy name the plan was built with.
 	Strategy string `json:"strategy"`
+	// Distribution is the canonical spec of the execution-time law
+	// (see ParseDistribution); empty when the law has no spec
+	// (empirical, mixtures, wrappers).
+	Distribution string `json:"distribution,omitempty"`
 	// CostModel holds the α, β, γ parameters.
 	CostModel struct {
 		Alpha float64 `json:"alpha"`
@@ -25,6 +32,9 @@ type PlanSummary struct {
 func (p *Plan) Summary() PlanSummary {
 	var s PlanSummary
 	s.Strategy = p.Strategy
+	if spec, err := DistributionSpec(p.dist); err == nil {
+		s.Distribution = spec
+	}
 	s.CostModel.Alpha = p.model.Alpha
 	s.CostModel.Beta = p.model.Beta
 	s.CostModel.Gamma = p.model.Gamma
@@ -37,4 +47,30 @@ func (p *Plan) Summary() PlanSummary {
 // JSON renders the plan summary as indented JSON.
 func (p *Plan) JSON() ([]byte, error) {
 	return json.MarshalIndent(p.Summary(), "", "  ")
+}
+
+// ParsePlanSummary decodes a PlanSummary produced by Plan.JSON (or the
+// plan service) and validates it: the strategy name must be known (or
+// empty, meaning the default), the distribution spec — when present —
+// must parse, and the cost model must satisfy the paper's constraints.
+func ParsePlanSummary(data []byte) (PlanSummary, error) {
+	var s PlanSummary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return PlanSummary{}, fmt.Errorf("repro: plan summary: %w", err)
+	}
+	if s.Strategy != "" {
+		if _, err := (Options{}).withDefaults().resolve(s.Strategy); err != nil {
+			return PlanSummary{}, err
+		}
+	}
+	if s.Distribution != "" {
+		if _, err := ParseDistribution(s.Distribution); err != nil {
+			return PlanSummary{}, err
+		}
+	}
+	m := CostModel{Alpha: s.CostModel.Alpha, Beta: s.CostModel.Beta, Gamma: s.CostModel.Gamma}
+	if err := m.Validate(); err != nil {
+		return PlanSummary{}, fmt.Errorf("repro: plan summary: %w", err)
+	}
+	return s, nil
 }

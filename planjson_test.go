@@ -37,6 +37,60 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParsePlanSummaryRoundTrip(t *testing.T) {
+	d, _ := LogNormal(3, 0.5)
+	p, err := MakePlan(ReservationOnly, d, StrategyMeanDoubling, Options{PreviewLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParsePlanSummary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Distribution != "lognormal(3,0.5)" {
+		t.Errorf("distribution spec = %q", s.Distribution)
+	}
+	back, err := ParseDistribution(s.Distribution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != d.Name() {
+		t.Errorf("summary distribution %s, want %s", back.Name(), d.Name())
+	}
+}
+
+func TestParsePlanSummaryRejectsInvalid(t *testing.T) {
+	bad := []string{
+		`{`, // malformed JSON
+		`{"strategy":"nope","cost_model":{"alpha":1}}`,          // unknown strategy
+		`{"distribution":"weird(1)","cost_model":{"alpha":1}}`,  // bad spec
+		`{"strategy":"mean-doubling","cost_model":{"alpha":0}}`, // invalid model
+	}
+	for _, in := range bad {
+		if _, err := ParsePlanSummary([]byte(in)); err == nil {
+			t.Errorf("%s accepted", in)
+		}
+	}
+}
+
+func TestPlanSummaryOmitsUnspeccableDistribution(t *testing.T) {
+	emp, err := Empirical([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := MakePlan(ReservationOnly, emp, StrategyMeanDoubling, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Summary(); s.Distribution != "" {
+		t.Errorf("empirical law got spec %q", s.Distribution)
+	}
+}
+
 func TestPlanSummaryCopiesReservations(t *testing.T) {
 	d, _ := Exponential(1)
 	p, err := MakePlan(ReservationOnly, d, StrategyMeanByMean, Options{PreviewLen: 3})

@@ -1,0 +1,199 @@
+package repro
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestPlannerMatchesMakePlan: every strategy produces the identical
+// plan through the Planner and through MakePlan, including the cached
+// second call.
+func TestPlannerMatchesMakePlan(t *testing.T) {
+	d, _ := LogNormal(3, 0.5)
+	opts := Options{GridM: 300, DiscN: 200}
+	pl, err := NewPlanner(ReservationOnly, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Strategies() {
+		want, err := MakePlan(ReservationOnly, d, name, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for pass := 0; pass < 2; pass++ { // second pass hits the caches
+			got, err := pl.Plan(d, name)
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", name, pass, err)
+			}
+			if got.ExpectedCost != want.ExpectedCost || got.NormalizedCost != want.NormalizedCost {
+				t.Errorf("%s pass %d: cost %g/%g, want %g/%g",
+					name, pass, got.ExpectedCost, got.NormalizedCost, want.ExpectedCost, want.NormalizedCost)
+			}
+			if len(got.Reservations) != len(want.Reservations) {
+				t.Fatalf("%s pass %d: %d reservations, want %d",
+					name, pass, len(got.Reservations), len(want.Reservations))
+			}
+			for i := range got.Reservations {
+				if got.Reservations[i] != want.Reservations[i] {
+					t.Errorf("%s pass %d: reservation %d = %g, want %g",
+						name, pass, i, got.Reservations[i], want.Reservations[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerMonteCarloReusesWorkload: Monte-Carlo scans share one
+// cached workload per distribution spec and still agree with MakePlan.
+func TestPlannerMonteCarloReusesWorkload(t *testing.T) {
+	d, _ := Gamma(2, 2)
+	opts := Options{GridM: 200, SamplesN: 500, Seed: 7, MonteCarlo: true}
+	pl, err := NewPlanner(ReservationOnly, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MakePlan(ReservationOnly, d, StrategyBruteForce, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		got, err := pl.Plan(d, StrategyBruteForce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ExpectedCost != want.ExpectedCost {
+			t.Errorf("pass %d: cost %g, want %g", pass, got.ExpectedCost, want.ExpectedCost)
+		}
+	}
+	if n := pl.workloads.Len(); n != 1 {
+		t.Errorf("workload cache holds %d entries, want 1", n)
+	}
+}
+
+// TestPlannerDiscretizationCache: the two DP schemes cache separate
+// discretizations under one spec.
+func TestPlannerDiscretizationCache(t *testing.T) {
+	d, _ := Weibull(1, 0.5)
+	pl, err := NewPlanner(ReservationOnly, Options{DiscN: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Plan(d, StrategyEqualProb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Plan(d, StrategyEqualTime); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Plan(d, StrategyEqualProb); err != nil {
+		t.Fatal(err)
+	}
+	if n := pl.discs.Len(); n != 2 {
+		t.Errorf("discretization cache holds %d entries, want 2", n)
+	}
+}
+
+// TestPlannerUnspeccableDistribution: laws without a canonical spec
+// plan correctly and simply bypass the state caches.
+func TestPlannerUnspeccableDistribution(t *testing.T) {
+	base, _ := LogNormal(1, 0.4)
+	var samples []float64
+	for i := 0; i < 500; i++ {
+		samples = append(samples, base.Quantile((float64(i)+0.5)/500))
+	}
+	emp, err := Empirical(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlanner(ReservationOnly, Options{GridM: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(emp, StrategyMeanDoubling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NormalizedCost < 1 || math.IsNaN(p.NormalizedCost) {
+		t.Errorf("normalized cost %g", p.NormalizedCost)
+	}
+	if pl.workloads.Len() != 0 || pl.discs.Len() != 0 {
+		t.Errorf("unspeccable law polluted the caches: %d/%d", pl.workloads.Len(), pl.discs.Len())
+	}
+}
+
+// TestPlannerValidation: invalid cost models are rejected at
+// construction, unknown strategies and bad specs at planning.
+func TestPlannerValidation(t *testing.T) {
+	if _, err := NewPlanner(CostModel{}, Options{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	pl, err := NewPlanner(ReservationOnly, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := Exponential(1)
+	if _, err := pl.Plan(d, "nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := pl.PlanSpec("weird(1)", StrategyMeanDoubling); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if p, err := pl.PlanSpec("uniform(10,20)", StrategyEqualProb); err != nil || p == nil {
+		t.Errorf("PlanSpec failed: %v", err)
+	}
+}
+
+// TestPlannerConcurrentUse: one Planner serving many goroutines mixing
+// strategies and distributions produces exactly the sequential results.
+func TestPlannerConcurrentUse(t *testing.T) {
+	pl, err := NewPlanner(ReservationOnly, Options{GridM: 120, DiscN: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{"exponential(1)", "uniform(10,20)", "lognormal(3,0.5)"}
+	strategies := []string{StrategyBruteForce, StrategyEqualProb, StrategyMeanDoubling}
+	type key struct{ spec, strat string }
+	want := make(map[key]float64)
+	for _, s := range specs {
+		for _, st := range strategies {
+			p, err := pl.PlanSpec(s, st)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s, st, err)
+			}
+			want[key{s, st}] = p.ExpectedCost
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := specs[g%len(specs)]
+			st := strategies[(g/len(specs))%len(strategies)]
+			p, err := pl.PlanSpec(s, st)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p.ExpectedCost != want[key{s, st}] {
+				errs <- errDrift{s, st, p.ExpectedCost, want[key{s, st}]}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// errDrift reports a concurrent result differing from the sequential one.
+type errDrift struct {
+	spec, strat string
+	got, want   float64
+}
+
+func (e errDrift) Error() string {
+	return e.spec + "/" + e.strat + ": concurrent cost differs from sequential"
+}

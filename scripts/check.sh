@@ -41,7 +41,7 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency substrate)"
-go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/...
+go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/lru/... ./internal/service/...
 
 echo "check.sh: all gates passed"
 

@@ -1,0 +1,62 @@
+// Service benchmarks live in an external test package: bench_test.go's
+// package repro cannot import internal/service (which imports repro),
+// but repro_test can, and `go test -bench` over the root directory
+// runs both packages.
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+const benchPlanBody = `{"distribution": "lognormal(3,0.5)", "cost_model": {"alpha": 1}, "strategy": "equal-probability", "options": {"disc_n": 150%s}}`
+
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	ts := httptest.NewServer(service.New(service.Config{CacheSize: 1 << 16}))
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func postPlan(b *testing.B, url, body string) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkPlanServiceCached measures a plan request served from the
+// response cache (every iteration is a byte-identical hit).
+func BenchmarkPlanServiceCached(b *testing.B) {
+	ts := benchServer(b)
+	body := fmt.Sprintf(benchPlanBody, "")
+	postPlan(b, ts.URL, body) // populate the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postPlan(b, ts.URL, body)
+	}
+}
+
+// BenchmarkPlanServiceUncached measures a plan request that must
+// compute: each iteration varies the scoring seed (part of the
+// canonical key, ignored by analytic scoring), forcing a cache miss of
+// constant compute cost.
+func BenchmarkPlanServiceUncached(b *testing.B) {
+	ts := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postPlan(b, ts.URL, fmt.Sprintf(benchPlanBody, fmt.Sprintf(`, "seed": %d`, i+1)))
+	}
+}
