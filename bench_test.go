@@ -14,6 +14,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 
@@ -129,6 +130,56 @@ func BenchmarkBruteForceScoring(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAnalyticScoring pits the pre-cursor analytic scoring path
+// (materialize each candidate's Sequence, Clone it into ExpectedCost's
+// consuming evaluation) against the fused Eq.-(4)/Eq.-(11) CostCursor
+// (one survival evaluation per reservation, budget early-abort, zero
+// per-candidate allocations) over the same full-scale grid. Both
+// variants track the running best so the cursor's pruning is exercised
+// the way SearchOn uses it.
+func BenchmarkAnalyticScoring(b *testing.B) {
+	const gridM = 5000
+	d := dist.MustLogNormal(3, 0.5)
+	m := core.ReservationOnly
+	lo, _ := d.Support()
+	hi := core.BoundFirstReservation(m, d)
+
+	b.Run("expected-cost", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			best := 0.0
+			bestCost := math.Inf(1)
+			for g := 0; g < gridM; g++ {
+				t1 := lo + (hi-lo)*float64(g+1)/float64(gridM)
+				s := core.SequenceFromFirstTail(m, d, t1, core.DefaultTailEps)
+				c, err := core.ExpectedCost(m, d, s.Clone())
+				if err != nil || c >= bestCost {
+					continue
+				}
+				best, bestCost = t1, c
+			}
+			_ = best
+		}
+	})
+	b.Run("cost-cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur := core.NewCostCursor(m, d, core.DefaultTailEps)
+			best := 0.0
+			bestCost := math.Inf(1)
+			for g := 0; g < gridM; g++ {
+				t1 := lo + (hi-lo)*float64(g+1)/float64(gridM)
+				c, pruned, err := cur.CostBudget(t1, bestCost)
+				if err != nil || pruned || c >= bestCost {
+					continue
+				}
+				best, bestCost = t1, c
+			}
+			_ = best
+		}
+	})
 }
 
 // BenchmarkWorkloadScoring pits the pre-Workload scoring path (build

@@ -10,12 +10,21 @@
 //
 //	go run ./cmd/bench                       # default subset -> BENCH.json
 //	go run ./cmd/bench -bench . -out all.json
+//	go run ./cmd/bench -cpuprofile cpu.out   # profile the benchmarked code
+//	go run ./cmd/bench -compare BENCH.json   # regression check, no write
 //	scripts/check.sh --bench                 # full gate + benchmarks
 //
 // The output is deterministic apart from the measurements themselves:
 // benchmarks are sorted by name, repeated -count runs are averaged, and
 // no timestamps are recorded (wall-clock metadata would make every run
 // a spurious diff).
+//
+// -cpuprofile/-memprofile are handed through to `go test`, which writes
+// the profile files and the compiled test binary (needed by `go tool
+// pprof`) into the repository root. -compare replaces the write with a
+// regression gate: current ns/op is diffed against the named baseline
+// JSON for every benchmark present in both, and the exit status is
+// nonzero if any benchmark slowed down by more than 25%.
 package main
 
 import (
@@ -35,7 +44,13 @@ import (
 // plan-service pair contrasting cached and uncached request latency.
 // The full suite (-bench .) includes multi-second experiment drivers
 // and is opt-in.
-const defaultBench = "^(BenchmarkWorkloadScoring|BenchmarkBruteForceScoring|BenchmarkMonteCarlo|BenchmarkExpectedCost|BenchmarkPlanServiceCached|BenchmarkPlanServiceUncached)$"
+const defaultBench = "^(BenchmarkWorkloadScoring|BenchmarkBruteForceScoring|BenchmarkAnalyticScoring|BenchmarkMonteCarlo|BenchmarkExpectedCost|BenchmarkPlanServiceCached|BenchmarkPlanServiceUncached)$"
+
+// compareTolerance is the -compare regression threshold: a benchmark
+// fails the gate when its current ns/op exceeds the baseline by more
+// than 25%. Generous enough to absorb ordinary machine noise on a 1s
+// benchtime, tight enough to catch a lost fast path.
+const compareTolerance = 1.25
 
 // Result is one benchmark's averaged measurements.
 type Result struct {
@@ -75,6 +90,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	benchtime := fs.String("benchtime", "1s", "go test -benchtime value")
 	count := fs.Int("count", 1, "go test -count repetitions (averaged)")
 	pkg := fs.String("pkg", ".", "package to benchmark")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (passed to go test)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file (passed to go test)")
+	compare := fs.String("compare", "", "baseline JSON to diff against instead of writing -out; exit nonzero on >25% ns/op regressions")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,8 +103,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"-benchmem",
 		"-benchtime", *benchtime,
 		"-count", strconv.Itoa(*count),
-		*pkg,
 	}
+	if *cpuprofile != "" {
+		cmdArgs = append(cmdArgs, "-cpuprofile", *cpuprofile)
+	}
+	if *memprofile != "" {
+		cmdArgs = append(cmdArgs, "-memprofile", *memprofile)
+	}
+	cmdArgs = append(cmdArgs, *pkg)
 	fmt.Fprintf(stderr, "bench: go %s\n", strings.Join(cmdArgs, " "))
 	cmd := exec.Command("go", cmdArgs...)
 	cmd.Stderr = stderr
@@ -108,6 +132,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintf(stderr, "bench: no benchmarks matched %q\n", *benchRe)
 		return 1
+	}
+	if *compare != "" {
+		blob, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 1
+		}
+		var baseline Report
+		if err := json.Unmarshal(blob, &baseline); err != nil {
+			fmt.Fprintf(stderr, "bench: parsing %s: %v\n", *compare, err)
+			return 1
+		}
+		lines, regressed := compareReports(baseline, report, compareTolerance)
+		for _, l := range lines {
+			fmt.Fprintf(stderr, "bench: %s\n", l)
+		}
+		if regressed {
+			fmt.Fprintf(stderr, "bench: ns/op regression above %.0f%% vs %s\n", (compareTolerance-1)*100, *compare)
+			return 1
+		}
+		fmt.Fprintf(stderr, "bench: no regressions vs %s\n", *compare)
+		return 0
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -202,6 +248,42 @@ func parseBenchOutput(text string) (Report, error) {
 		})
 	}
 	return report, nil
+}
+
+// compareReports diffs current ns/op against the baseline for every
+// benchmark present in both reports, in baseline order. It returns one
+// human-readable line per shared benchmark plus notes for benchmarks
+// only one side has, and whether any shared benchmark's ns/op exceeds
+// baseline × tolerance. Faster-than-baseline results never fail: the
+// gate exists to catch lost fast paths, not to freeze improvements.
+func compareReports(baseline, current Report, tolerance float64) (lines []string, regressed bool) {
+	cur := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[r.Name] = r
+	}
+	shared := make(map[string]bool, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		c, ok := cur[b.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("%s: in baseline only, skipped", b.Name))
+			continue
+		}
+		shared[b.Name] = true
+		ratio := c.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if b.NsPerOp > 0 && ratio > tolerance {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		lines = append(lines, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%) %s",
+			b.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, verdict))
+	}
+	for _, c := range current.Benchmarks {
+		if !shared[c.Name] {
+			lines = append(lines, fmt.Sprintf("%s: not in baseline, skipped", c.Name))
+		}
+	}
+	return lines, regressed
 }
 
 // stripProcsSuffix removes the trailing -GOMAXPROCS tag go test appends

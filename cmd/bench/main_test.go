@@ -2,6 +2,7 @@ package main
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -63,6 +64,55 @@ func TestParseBenchOutput(t *testing.T) {
 func TestParseBenchOutputBadLine(t *testing.T) {
 	if _, err := parseBenchOutput("BenchmarkX-8\tnot-a-number\t10 ns/op\n"); err == nil {
 		t.Error("want error for unparseable iteration count")
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	baseline := Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 500},
+	}}
+	current := Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1240}, // +24%: inside tolerance
+		{Name: "BenchmarkB", NsPerOp: 200},  // 5x faster: never a failure
+		{Name: "BenchmarkNew", NsPerOp: 99},
+	}}
+	lines, regressed := compareReports(baseline, current, 1.25)
+	if regressed {
+		t.Errorf("regressed = true within tolerance; lines:\n%s", strings.Join(lines, "\n"))
+	}
+	// One line per baseline entry plus the new-benchmark note.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[2], "BenchmarkGone") || !strings.Contains(lines[2], "baseline only") {
+		t.Errorf("missing baseline-only note: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "BenchmarkNew") || !strings.Contains(lines[3], "not in baseline") {
+		t.Errorf("missing new-benchmark note: %q", lines[3])
+	}
+
+	current.Benchmarks[0].NsPerOp = 1251 // just past 25%
+	lines, regressed = compareReports(baseline, current, 1.25)
+	if !regressed {
+		t.Errorf("25.1%% slowdown not flagged; lines:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "REGRESSION") {
+		t.Errorf("regressed line not labeled: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "REGRESSION") {
+		t.Errorf("faster benchmark labeled as regression: %q", lines[1])
+	}
+}
+
+func TestCompareReportsZeroBaseline(t *testing.T) {
+	// A zero ns/op baseline (hand-edited or truncated file) must not
+	// divide into a spurious failure.
+	baseline := Report{Benchmarks: []Result{{Name: "BenchmarkZ", NsPerOp: 0}}}
+	current := Report{Benchmarks: []Result{{Name: "BenchmarkZ", NsPerOp: 10}}}
+	if _, regressed := compareReports(baseline, current, 1.25); regressed {
+		t.Error("zero baseline flagged as regression")
 	}
 }
 

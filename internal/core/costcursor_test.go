@@ -1,0 +1,311 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// costCursorModels are the three cost-model scenarios the parity
+// property probes: the paper's RESERVATIONONLY instance, the NeuroHPC
+// affine model (§5.3), and a mixed model with fractional β and small γ.
+var costCursorModels = []CostModel{
+	ReservationOnly,
+	{Alpha: 0.95, Beta: 1, Gamma: 1.05},
+	{Alpha: 1, Beta: 0.5, Gamma: 0.1},
+}
+
+// TestCostCursorMatchesExpectedCost is the equivalence property behind
+// the analytic fast path: across all nine Table-1 distributions, the
+// three cost-model scenarios, a sweep of first reservations and both
+// tail rules, the fused cursor must reproduce ExpectedCost over the
+// materialized SequenceFromFirstTail — same value (bitwise: the fused
+// loop performs the identical IEEE-754 operations, merely sharing the
+// survival evaluations) and the same error classification.
+func TestCostCursorMatchesExpectedCost(t *testing.T) {
+	for _, m := range costCursorModels {
+		for _, d := range dist.Table1() {
+			lo, _ := d.Support()
+			hi := BoundFirstReservation(m, d)
+			for _, tailEps := range []float64{0, DefaultTailEps} {
+				cur := NewCostCursor(m, d, tailEps) // one cursor across all candidates
+				for _, frac := range []float64{0.01, 0.05, 0.2, 0.5, 0.75, 0.9, 1.0} {
+					t1 := lo + (hi-lo)*frac
+					want, errWant := ExpectedCost(m, d, SequenceFromFirstTail(m, d, t1, tailEps))
+					got, errGot := cur.Cost(t1)
+					if (errWant == nil) != (errGot == nil) {
+						t.Fatalf("%s %v t1=%g eps=%g: ExpectedCost err %v, cursor err %v",
+							d.Name(), m, t1, tailEps, errWant, errGot)
+					}
+					if errWant != nil {
+						if !errors.Is(errGot, errWant) {
+							t.Fatalf("%s t1=%g: error mismatch: %v vs %v", d.Name(), t1, errWant, errGot)
+						}
+						continue
+					}
+					if want != got { //lint:ignore floatcmp parity test: identical operations must give identical bits
+						t.Errorf("%s %v t1=%g eps=%g: ExpectedCost %.17g, cursor %.17g",
+							d.Name(), m, t1, tailEps, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCostCursorCostOfMatchesExpectedCost: the generic streaming
+// evaluator must agree with ExpectedCost on sequences that do not come
+// from the recurrence — explicit finite plans, including the uncovered
+// (+Inf) case.
+func TestCostCursorCostOfMatchesExpectedCost(t *testing.T) {
+	for _, m := range costCursorModels {
+		for _, d := range dist.Table1() {
+			cur := NewCostCursor(m, d, 0)
+			q99 := d.Quantile(0.99)
+			for _, vals := range [][]float64{
+				{d.Quantile(0.5)},                        // short: typically uncovered on unbounded laws
+				{d.Quantile(0.5), q99, q99 * 2, q99 * 8}, // deeper coverage
+				{d.Quantile(0.999999999999), q99 * 16},   // near-total coverage
+			} {
+				s, err := NewExplicitSequence(strictlyIncreasing(vals)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, errWant := ExpectedCost(m, d, s.Clone())
+				sc := s.Cursor()
+				got, errGot := cur.CostOf(&sc)
+				if (errWant == nil) != (errGot == nil) {
+					t.Fatalf("%s %v seq=%v: ExpectedCost err %v, CostOf err %v", d.Name(), m, vals, errWant, errGot)
+				}
+				if errWant != nil {
+					continue
+				}
+				if want != got { //lint:ignore floatcmp parity test: identical operations must give identical bits
+					t.Errorf("%s %v seq=%v: ExpectedCost %.17g, CostOf %.17g", d.Name(), m, vals, want, got)
+				}
+			}
+		}
+	}
+}
+
+// strictlyIncreasing drops values that do not strictly increase, so
+// quantile-derived test sequences stay valid on every law.
+func strictlyIncreasing(vals []float64) []float64 {
+	out := vals[:0:0]
+	prev := 0.0
+	for _, v := range vals {
+		if v > prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}
+
+// TestCostCursorUncoveredFinite: a finite explicit sequence ending
+// below the distribution's effective support must score +Inf on both
+// the reference and the streaming path.
+func TestCostCursorUncoveredFinite(t *testing.T) {
+	d := dist.MustLogNormal(3, 0.5)
+	m := ReservationOnly
+	s, err := NewExplicitSequence(d.Quantile(0.25), d.Quantile(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExpectedCost(m, d, s.Clone())
+	if err != nil || !math.IsInf(want, 1) {
+		t.Fatalf("ExpectedCost = %g, %v; want +Inf", want, err)
+	}
+	cur := NewCostCursor(m, d, 0)
+	sc := s.Cursor()
+	got, err := cur.CostOf(&sc)
+	if err != nil || !math.IsInf(got, 1) {
+		t.Errorf("CostOf = %g, %v; want +Inf", got, err)
+	}
+}
+
+// TestCostCursorBudgetAbortResume: the early abort must return an
+// admissible lower bound strictly above the budget, and the cursor
+// must be immediately reusable afterwards — the next call (exact or
+// budgeted) starts a fresh candidate and reproduces a fresh cursor's
+// result bitwise.
+func TestCostCursorBudgetAbortResume(t *testing.T) {
+	for _, m := range costCursorModels {
+		for _, d := range []dist.Distribution{
+			dist.MustLogNormal(3, 0.5),
+			dist.MustExponential(1),
+			dist.MustGamma(2, 2),
+		} {
+			lo, _ := d.Support()
+			hi := BoundFirstReservation(m, d)
+			cur := NewCostCursor(m, d, DefaultTailEps)
+			t1 := lo + (hi-lo)*0.4
+			exact, err := cur.Cost(t1)
+			if err != nil || math.IsInf(exact, 1) || math.IsNaN(exact) {
+				t.Fatalf("%s %v: exact cost = %g, %v", d.Name(), m, exact, err)
+			}
+			// A budget below the β·E[X] floor aborts on the very first
+			// term; any budget below the exact cost aborts somewhere.
+			for _, budget := range []float64{exact * 0.1, exact * 0.5, exact * 0.99} {
+				partial, pruned, err := cur.CostBudget(t1, budget)
+				if err != nil {
+					t.Fatalf("%s budget=%g: %v", d.Name(), budget, err)
+				}
+				if !pruned {
+					t.Fatalf("%s budget=%g < exact %g: not pruned", d.Name(), budget, exact)
+				}
+				if !(partial > budget) {
+					t.Errorf("%s: pruned partial %g not above budget %g", d.Name(), partial, budget)
+				}
+				if partial > exact {
+					t.Errorf("%s: partial %g exceeds exact cost %g — not a lower bound", d.Name(), partial, exact)
+				}
+				// Resume: the abort left no state behind.
+				again, err := cur.Cost(t1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if again != exact { //lint:ignore floatcmp reuse after abort must be bit-identical
+					t.Errorf("%s: cost after abort %.17g != %.17g", d.Name(), again, exact)
+				}
+			}
+			// A budget at exactly the final cost must NOT abort: the
+			// partial sums never strictly exceed the final value, so the
+			// winner of a scan survives a tie with the incumbent.
+			full, pruned, err := cur.CostBudget(t1, exact)
+			if err != nil || pruned {
+				t.Errorf("%s: budget=exact pruned=%v err=%v; want exact completion", d.Name(), pruned, err)
+			} else if full != exact { //lint:ignore floatcmp parity test
+				t.Errorf("%s: budget=exact cost %.17g != %.17g", d.Name(), full, exact)
+			}
+		}
+	}
+}
+
+// TestCostCursorInvalidCandidates: candidates whose recurrence breaks
+// down must fail identically on both paths (ErrNonIncreasing), and the
+// cursor must remain usable after the failure.
+func TestCostCursorInvalidCandidates(t *testing.T) {
+	d := dist.MustUniform(10, 20)
+	m := ReservationOnly
+	cur := NewCostCursor(m, d, 0) // strict rule: interior candidates break down
+	if _, err := cur.Cost(11); !errors.Is(err, ErrNonIncreasing) {
+		t.Errorf("interior strict candidate: err = %v, want ErrNonIncreasing", err)
+	}
+	// t1 = 0 is rejected like the materialized path.
+	if _, err := cur.Cost(0); !errors.Is(err, ErrNonIncreasing) {
+		t.Errorf("t1=0: err = %v, want ErrNonIncreasing", err)
+	}
+	// Still usable: t1 >= b clamps to the single covering reservation.
+	cost, err := cur.Cost(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExpectedCost(m, d, SequenceFromFirstTail(m, d, 25, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != want { //lint:ignore floatcmp parity test
+		t.Errorf("clamped candidate: %.17g != %.17g", cost, want)
+	}
+}
+
+// TestConvexCostCursorMatchesExpectedCostConvex: the convex cursor
+// must reproduce ExpectedCostConvex over SequenceFromFirstConvexTail,
+// for both a strictly convex cost and the affine instance.
+func TestConvexCostCursorMatchesExpectedCostConvex(t *testing.T) {
+	costs := []ConvexCost{
+		QuadraticCost{A: 0.1, B: 1, C: 0.5},
+		AffineCost{Alpha: 1, Gamma: 0.2},
+	}
+	for _, g := range costs {
+		for _, beta := range []float64{0, 1} {
+			for _, d := range []dist.Distribution{
+				dist.MustLogNormal(1, 0.5),
+				dist.MustExponential(0.5),
+				dist.MustUniform(2, 9),
+			} {
+				lo, _ := d.Support()
+				upper := lo + 10*d.Mean()
+				cur := NewConvexCostCursor(g, beta, d, DefaultTailEps)
+				for _, frac := range []float64{0.05, 0.3, 0.6, 0.95} {
+					t1 := lo + (upper-lo)*frac
+					s := SequenceFromFirstConvexTail(g, beta, d, t1, DefaultTailEps)
+					want, errWant := ExpectedCostConvex(g, beta, d, s)
+					got, errGot := cur.Cost(t1)
+					if (errWant == nil) != (errGot == nil) {
+						t.Fatalf("%s g=%#v β=%g t1=%g: reference err %v, cursor err %v",
+							d.Name(), g, beta, t1, errWant, errGot)
+					}
+					if errWant != nil {
+						continue
+					}
+					if want != got { //lint:ignore floatcmp parity test: identical operations must give identical bits
+						t.Errorf("%s g=%#v β=%g t1=%g: reference %.17g, cursor %.17g",
+							d.Name(), g, beta, t1, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCostCursorConcurrent exercises the cursor's concurrency
+// contract under the race detector: a CostCursor is immutable after
+// construction (all per-call state is local), so one instance shared
+// by many goroutines — mixing exact, budgeted and aborted calls — must
+// produce identical results everywhere.
+func TestCostCursorConcurrent(t *testing.T) {
+	d := dist.MustGamma(2, 2)
+	m := CostModel{Alpha: 0.95, Beta: 1, Gamma: 1.05}
+	lo, _ := d.Support()
+	hi := BoundFirstReservation(m, d)
+	shared := NewCostCursor(m, d, DefaultTailEps)
+
+	const goroutines = 16
+	const candidates = 64
+	want := make([]float64, candidates)
+	for i := range want {
+		t1 := lo + (hi-lo)*float64(i+1)/float64(candidates)
+		c, err := shared.Cost(t1)
+		if err != nil {
+			c = math.NaN()
+		}
+		want[i] = c
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < candidates; i++ {
+				t1 := lo + (hi-lo)*float64(i+1)/float64(candidates)
+				// Interleave aborted calls to stress the reuse path.
+				if (g+i)%3 == 0 {
+					if _, _, err := shared.CostBudget(t1, want[i]/2); err != nil {
+						return
+					}
+				}
+				c, err := shared.Cost(t1)
+				if err != nil {
+					c = math.NaN()
+				}
+				if c != want[i] && !(math.IsNaN(c) && math.IsNaN(want[i])) { //lint:ignore floatcmp parity test
+					errs[g] = errors.New("concurrent result diverged from serial result")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}

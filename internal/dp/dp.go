@@ -196,6 +196,15 @@ func SolveMaxAttempts(d *dist.Discrete, m core.CostModel, maxAttempts int) (Resu
 		S[i] = S[i+1] + probs[i]
 		W[i] = W[i+1] + probs[i]*vals[i]
 	}
+	// jLast is the last positive-mass index: reserving vals[jLast]
+	// covers the whole law (S[jLast+1] == 0), so it is the unique
+	// stopping point a single remaining attempt can pick. Trailing
+	// zero-mass points (possible after truncated discretizations) only
+	// add α·v_j for a larger v_j, so they never win.
+	jLast := n - 1
+	for jLast > 0 && S[jLast] <= 0 {
+		jLast--
+	}
 
 	// E[k][i], choice[k][i]: k attempts remaining, conditional start i.
 	// k=0 row: infeasible unless no mass remains.
@@ -217,10 +226,25 @@ func SolveMaxAttempts(d *dist.Discrete, m core.CostModel, maxAttempts int) (Resu
 			if S[i] <= 0 {
 				continue
 			}
+			if k == 1 {
+				// One attempt left: every j with mass beyond it has an
+				// infeasible (+Inf) continuation, and among the feasible
+				// j >= jLast the cost is nondecreasing in j (W[j+1] and
+				// S[j+1] are zero there, leaving α·v_j + γ + β·W[i]/S[i]),
+				// so the scan always lands on jLast. Same arithmetic as
+				// the general branch with cont = 0.
+				j := jLast
+				E[k][i] = m.Alpha*vals[j] + m.Gamma +
+					(m.Beta*(W[i]-W[j+1])+S[j+1]*(m.Beta*vals[j]+0.0))/S[i]
+				choice[k][i] = j
+				continue
+			}
 			best := inf
 			bestJ := -1
-			// With k attempts left, the last k-1 must be able to cover
-			// the rest, so j can stop at most k-1 points short of n-1.
+			// Attempt budgets shorter than the remaining support need no
+			// explicit feasibility bound on j: a continuation that cannot
+			// cover the tail carries E[k-1][j+1] = +Inf (propagated up
+			// from the k=0 row) and is skipped below.
 			for j := i; j < n; j++ {
 				cont := 0.0
 				if j+1 <= n && S[j+1] > 0 {

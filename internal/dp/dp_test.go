@@ -312,6 +312,73 @@ func TestSolveMaxAttempts(t *testing.T) {
 	}
 }
 
+// TestSolveMaxAttemptsEqualsSolveAtFullBudget pins the budgeted DP to
+// the unconstrained one when the budget cannot bind (maxAttempts = n):
+// identical sequence and identical cost, including on laws with a
+// zero-mass tail (where the k=1 row must land on the last
+// positive-mass index, not n-1).
+func TestSolveMaxAttemptsEqualsSolveAtFullBudget(t *testing.T) {
+	cases := []struct {
+		name  string
+		vals  []float64
+		probs []float64
+	}{
+		{"plain", []float64{1, 2, 4, 8, 16}, []float64{0.4, 0.3, 0.15, 0.1, 0.05}},
+		{"skewed", []float64{1, 3, 7, 20}, []float64{0.7, 0.2, 0.09, 0.01}},
+		{"zero-mass-tail", []float64{1, 2, 4, 8, 16}, []float64{0.5, 0.3, 0.2, 0, 0}},
+	}
+	models := []core.CostModel{
+		core.ReservationOnly,
+		{Alpha: 1, Beta: 0.3, Gamma: 0.5},
+		{Alpha: 0.95, Beta: 1, Gamma: 1.05},
+	}
+	for _, tc := range cases {
+		d := disc(t, tc.vals, tc.probs)
+		n := d.Len()
+		for _, m := range models {
+			want, err := Solve(d, m)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got, err := SolveMaxAttempts(d, m, n)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if got.ExpectedCost != want.ExpectedCost { //lint:ignore floatcmp same DP arithmetic must agree bitwise
+				t.Errorf("%s %v: budgeted cost %.17g != unconstrained %.17g",
+					tc.name, m, got.ExpectedCost, want.ExpectedCost)
+			}
+			if len(got.Sequence) != len(want.Sequence) {
+				t.Fatalf("%s %v: sequences %v vs %v", tc.name, m, got.Sequence, want.Sequence)
+			}
+			for i := range got.Sequence {
+				if got.Sequence[i] != want.Sequence[i] { //lint:ignore floatcmp values are copied support points
+					t.Errorf("%s %v: sequence[%d] = %g != %g", tc.name, m, i, got.Sequence[i], want.Sequence[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveMaxAttemptsZeroMassTail: with a single attempt the plan must
+// stop at the last positive-mass point, skipping padded zero-mass
+// support values.
+func TestSolveMaxAttemptsZeroMassTail(t *testing.T) {
+	d := disc(t, []float64{1, 2, 4, 8}, []float64{0.6, 0.4, 0, 0})
+	m := core.CostModel{Alpha: 1, Beta: 0.3, Gamma: 0.5}
+	one, err := SolveMaxAttempts(d, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Sequence) != 1 || one.Sequence[0] != 2 {
+		t.Errorf("K=1 sequence %v, want [2]", one.Sequence)
+	}
+	// α·2 + γ + β·E[X] = 2 + 0.5 + 0.3·(0.6·1+0.4·2)
+	if want := 2 + 0.5 + 0.3*1.4; math.Abs(one.ExpectedCost-want) > 1e-12 {
+		t.Errorf("K=1 cost %g, want %g", one.ExpectedCost, want)
+	}
+}
+
 func TestSolveMaxAttemptsValidation(t *testing.T) {
 	d := disc(t, []float64{1, 2}, []float64{0.5, 0.5})
 	if _, err := SolveMaxAttempts(nil, core.ReservationOnly, 2); err == nil {

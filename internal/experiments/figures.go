@@ -37,7 +37,11 @@ func Fig3(cfg Config) ([]Fig3Series, error) {
 	series := make([]Fig3Series, len(dists))
 	parallel.ForEach(len(dists), cfg.Workers, func(i int) {
 		d := dists[i]
-		bf := strategy.BruteForce{M: cfg.M, N: cfg.N, Mode: cfg.evalMode(), Seed: cfg.Seed + uint64(i), Workers: 1}
+		// Fig. 3 plots the entire cost-vs-t1 curve, so the analytic
+		// budget prune must stay off (FullCosts): a pruned candidate
+		// records only a lower bound, which would punch spurious gaps
+		// into the series.
+		bf := strategy.BruteForce{M: cfg.M, N: cfg.N, Mode: cfg.evalMode(), Seed: cfg.Seed + uint64(i), Workers: 1, FullCosts: true}
 		res, err := bf.SearchOn(m, d, workloadFor(d, cfg, uint64(i)))
 		s := Fig3Series{Distribution: names[i], BestT1: math.NaN()}
 		if err == nil {

@@ -56,6 +56,15 @@ type BruteForce struct {
 	TailEps float64
 	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// FullCosts disables the analytic budget prune so every grid
+	// point's exact cost is recorded in Candidates — required by
+	// Fig.-3-style analyses that plot the whole cost curve. The default
+	// (false) abandons a candidate as soon as its Eq.-(4) partial sum
+	// exceeds the worker block's best cost, which never changes the
+	// winner (see core.CostCursor.CostBudget) but leaves pruned
+	// Candidates entries holding only a lower bound. Ignored under
+	// Monte-Carlo scoring.
+	FullCosts bool
 }
 
 // Name implements Strategy.
@@ -70,6 +79,15 @@ type Candidate struct {
 	// Valid reports whether the Eq.-(11) expansion stayed strictly
 	// increasing (within the tail tolerance).
 	Valid bool
+	// Pruned marks a candidate abandoned by the analytic early abort:
+	// Cost then holds only the partial Eq.-(4) sum accumulated before
+	// the abort — an admissible lower bound on the true cost, already
+	// above the block's best — and Valid is false because the unscanned
+	// tail of the recurrence was never checked. Which candidates get
+	// pruned (and their partial values) depends on scan order and
+	// worker count; only the winner is canonical. Set FullCosts to
+	// record every exact cost instead.
+	Pruned bool
 }
 
 // SearchResult is the full outcome of a brute-force scan.
@@ -114,16 +132,18 @@ func (b BruteForce) EvaluateT1(m core.CostModel, d dist.Distribution, t1 float64
 
 // EvaluateT1On scores a single candidate against a shared Workload
 // (Monte-Carlo protocol) or, when wl is nil or the mode is analytic,
-// with the deterministic Eq.-(4) closed form.
+// with the deterministic Eq.-(4) closed form, streamed through a
+// core.CostCursor (no Sequence is materialized unless the candidate is
+// valid and its sequence is returned).
 func (b BruteForce) EvaluateT1On(m core.CostModel, d dist.Distribution, t1 float64, wl *simulate.Workload) (Candidate, *core.Sequence) {
 	_, _, tailEps := b.params()
 	if b.Mode == EvalAnalytic || wl == nil {
-		s := core.SequenceFromFirstTail(m, d, t1, tailEps)
-		cost, err := core.ExpectedCost(m, d, s.Clone())
-		if err != nil || math.IsNaN(cost) || math.IsInf(cost, 1) {
-			return Candidate{T1: t1, Cost: math.NaN()}, nil
+		cur := core.NewCostCursor(m, d, tailEps)
+		c := evalAnalytic(t1, math.Inf(1), &cur)
+		if !c.Valid {
+			return c, nil
 		}
-		return Candidate{T1: t1, Cost: cost, Valid: true}, s
+		return c, core.SequenceFromFirstTail(m, d, t1, tailEps)
 	}
 	cur := core.NewRecurrenceCursor(m, d, t1, tailEps)
 	c := evalWorkload(m, t1, wl, &cur)
@@ -141,6 +161,21 @@ func evalWorkload(m core.CostModel, t1 float64, wl *simulate.Workload, cur *core
 	cost, err := wl.Cost(m, cur)
 	if err != nil || math.IsNaN(cost) || math.IsInf(cost, 1) {
 		return Candidate{T1: t1, Cost: math.NaN()}
+	}
+	return Candidate{T1: t1, Cost: cost, Valid: true}
+}
+
+// evalAnalytic scores one candidate through the fused Eq.-(4)/Eq.-(11)
+// cost cursor, abandoning it once the partial sum exceeds budget. The
+// caller owns the cursor and reuses it across candidates (it carries
+// no per-candidate state).
+func evalAnalytic(t1, budget float64, cur *core.CostCursor) Candidate {
+	cost, pruned, err := cur.CostBudget(t1, budget)
+	if err != nil || math.IsNaN(cost) || math.IsInf(cost, 1) {
+		return Candidate{T1: t1, Cost: math.NaN()}
+	}
+	if pruned {
+		return Candidate{T1: t1, Cost: cost, Pruned: true}
 	}
 	return Candidate{T1: t1, Cost: cost, Valid: true}
 }
@@ -179,63 +214,67 @@ func (b BruteForce) SearchOn(m core.CostModel, d dist.Distribution, wl *simulate
 	if workers <= 0 || workers > gridM {
 		workers = parallel.Workers(gridM)
 	}
-	// Each worker records its block's winner (and, under analytic
-	// scoring, the winner's already-built sequence) so the best
-	// candidate is never evaluated a second time after the scan.
-	type blockBest struct {
-		idx int
-		seq *core.Sequence
-	}
+	// Each worker records its block's winner so the best candidate is
+	// never evaluated a second time after the scan. Both modes stream
+	// each candidate through one reused per-block cursor: the
+	// Monte-Carlo path through the Eq.-(11) RecurrenceCursor against
+	// the shared Workload, the analytic path through the fused
+	// Eq.-(4)/Eq.-(11) CostCursor, pruning against the block's best so
+	// far (unless FullCosts asks for every exact cost).
 	cands := make([]Candidate, gridM)
-	wins := make([]blockBest, workers)
+	wins := make([]int, workers)
 	parallel.ForEachBlock(gridM, workers, func(w, wlo, whi int) {
-		best := blockBest{idx: -1}
+		bestIdx := -1
 		bestCost := math.Inf(1)
-		cur := core.NewRecurrenceCursor(m, d, 0, tailEps) // reused across the block
-		for i := wlo; i < whi; i++ {
-			// Paper's grid: t1 = a + m·(b-a)/M for m = 1..M.
-			t1 := lo + (hi-lo)*float64(i+1)/float64(gridM)
-			if wl != nil {
+		if wl != nil {
+			cur := core.NewRecurrenceCursor(m, d, 0, tailEps) // reused across the block
+			for i := wlo; i < whi; i++ {
+				// Paper's grid: t1 = a + m·(b-a)/M for m = 1..M.
+				t1 := lo + (hi-lo)*float64(i+1)/float64(gridM)
 				cur.Reset(t1)
 				cands[i] = evalWorkload(m, t1, wl, &cur)
 				if cands[i].Valid && cands[i].Cost < bestCost {
-					bestCost = cands[i].Cost
-					best = blockBest{idx: i}
+					bestCost, bestIdx = cands[i].Cost, i
 				}
-			} else {
-				c, seq := b.EvaluateT1On(m, d, t1, nil)
-				cands[i] = c
-				if c.Valid && c.Cost < bestCost {
-					bestCost = c.Cost
-					best = blockBest{idx: i, seq: seq}
+			}
+		} else {
+			cur := core.NewCostCursor(m, d, tailEps) // reused across the block
+			for i := wlo; i < whi; i++ {
+				t1 := lo + (hi-lo)*float64(i+1)/float64(gridM)
+				budget := bestCost
+				if b.FullCosts {
+					budget = math.Inf(1)
+				}
+				cands[i] = evalAnalytic(t1, budget, &cur)
+				if cands[i].Valid && cands[i].Cost < bestCost {
+					bestCost, bestIdx = cands[i].Cost, i
 				}
 			}
 		}
-		wins[w] = best
+		wins[w] = bestIdx
 	})
 
 	// Blocks are contiguous, so reducing in worker order with a strict
 	// < keeps the same winner (first grid index on ties) as a linear
-	// scan, independent of the worker count.
+	// scan, independent of the worker count. Pruning cannot disturb
+	// this: a candidate is abandoned only once its partial sum strictly
+	// exceeds the block's incumbent, so every candidate whose exact
+	// cost ties or beats the eventual minimum is scored exactly.
 	best := Candidate{Cost: math.Inf(1)}
-	var bestSeq *core.Sequence
-	for _, bb := range wins {
-		if bb.idx < 0 {
+	for _, idx := range wins {
+		if idx < 0 {
 			continue
 		}
-		if c := cands[bb.idx]; c.Cost < best.Cost {
+		if c := cands[idx]; c.Cost < best.Cost {
 			best = c
-			bestSeq = bb.seq
 		}
 	}
 	if !best.Valid {
 		return SearchResult{Candidates: cands}, errors.New("strategy: no valid brute-force candidate")
 	}
-	if bestSeq == nil {
-		// Monte-Carlo scan: candidates were scored through the cursor,
-		// so build the winner's (lazy) sequence now — O(1), no rescore.
-		bestSeq = core.SequenceFromFirstTail(m, d, best.T1, tailEps)
-	}
+	// Candidates were scored through cursors, so build the winner's
+	// (lazy) sequence now — O(1), no rescore.
+	bestSeq := core.SequenceFromFirstTail(m, d, best.T1, tailEps)
 	return SearchResult{Best: best, Sequence: bestSeq, Candidates: cands}, nil
 }
 
@@ -279,18 +318,24 @@ func (r RefinedBruteForce) Search(m core.CostModel, d dist.Distribution) (Search
 	step := (hi - lo) / float64(coarse.M)
 	a := math.Max(lo, res.Best.T1-step)
 	bb := math.Min(hi, res.Best.T1+step)
+	// One cursor serves every golden-section probe; no budget — the
+	// polish compares probe values against each other, so a pruned
+	// lower bound would mis-order the bracket.
+	_, _, tailEps := coarse.params()
+	cur := core.NewCostCursor(m, d, tailEps)
 	obj := func(t1 float64) float64 {
-		c, _ := coarse.EvaluateT1(m, d, t1, nil)
+		c := evalAnalytic(t1, math.Inf(1), &cur)
 		if !c.Valid {
 			return math.Inf(1)
 		}
 		return c.Cost
 	}
 	t1 := optimize.GoldenSection(obj, a, bb, 1e-10)
-	c, seq := coarse.EvaluateT1(m, d, t1, nil)
+	c := evalAnalytic(t1, math.Inf(1), &cur)
 	if !c.Valid || c.Cost > res.Best.Cost {
 		return res, nil // keep the coarse winner
 	}
+	seq := core.SequenceFromFirstTail(m, d, t1, tailEps)
 	return SearchResult{Best: c, Sequence: seq, Candidates: res.Candidates}, nil
 }
 

@@ -68,31 +68,53 @@ func (b ConvexBruteForce) Search(d dist.Distribution) (t1, cost float64, seq *co
 		return 0, 0, nil, fmt.Errorf("strategy: degenerate convex search interval [%g, %g]", lo, upper)
 	}
 
-	costs := parallel.Map(m, b.Workers, func(i int) float64 {
-		cand := lo + (upper-lo)*float64(i+1)/float64(m)
-		s := core.SequenceFromFirstConvexTail(b.G, b.Beta, d, cand, tailEps)
-		e, err := core.ExpectedCostConvex(b.G, b.Beta, d, s)
-		if err != nil || math.IsInf(e, 1) {
-			return math.NaN()
+	// The scan streams each candidate through one fused Eq.-(37)
+	// cursor per worker block (no Sequence materialized), pruning
+	// against the block's running best; block winners are reduced in
+	// worker order so the first-grid-index tie-break of a serial scan
+	// is preserved at any worker count (see core.CostCursor for the
+	// pruning soundness argument, which carries over term for term).
+	workers := b.Workers
+	if workers <= 0 || workers > m {
+		workers = parallel.Workers(m)
+	}
+	type blockBest struct {
+		idx  int
+		cost float64
+	}
+	wins := make([]blockBest, workers)
+	parallel.ForEachBlock(m, workers, func(w, wlo, whi int) {
+		bb := blockBest{idx: -1, cost: math.Inf(1)}
+		cur := core.NewConvexCostCursor(b.G, b.Beta, d, tailEps)
+		for i := wlo; i < whi; i++ {
+			cand := lo + (upper-lo)*float64(i+1)/float64(m)
+			e, pruned, err := cur.CostBudget(cand, bb.cost)
+			if err != nil || pruned || math.IsNaN(e) || math.IsInf(e, 1) {
+				continue
+			}
+			if e < bb.cost {
+				bb = blockBest{idx: i, cost: e}
+			}
 		}
-		return e
+		wins[w] = bb
 	})
 	bestI := -1
 	best := math.Inf(1)
-	for i, c := range costs {
-		if !math.IsNaN(c) && c < best {
-			best, bestI = c, i
+	for _, bb := range wins {
+		if bb.idx >= 0 && bb.cost < best {
+			best, bestI = bb.cost, bb.idx
 		}
 	}
 	if bestI < 0 {
 		return 0, 0, nil, errors.New("strategy: no valid convex candidate")
 	}
 	t1 = lo + (upper-lo)*float64(bestI+1)/float64(m)
-	// Golden-section polish between the grid neighbours.
+	// Golden-section polish between the grid neighbours, exact (no
+	// budget: the polish orders probe values against each other).
 	step := (upper - lo) / float64(m)
+	cur := core.NewConvexCostCursor(b.G, b.Beta, d, tailEps)
 	obj := func(x float64) float64 {
-		s := core.SequenceFromFirstConvexTail(b.G, b.Beta, d, x, tailEps)
-		e, err := core.ExpectedCostConvex(b.G, b.Beta, d, s)
+		e, err := cur.Cost(x)
 		if err != nil || math.IsNaN(e) {
 			return math.Inf(1)
 		}

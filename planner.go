@@ -88,13 +88,20 @@ func (pl *Planner) PlanSpec(distSpec, strategyName string) (*Plan, error) {
 func (pl *Planner) sequence(st strategy.Strategy, d Distribution) (*Sequence, error) {
 	switch s := st.(type) {
 	case strategy.BruteForce:
+		// Both modes stream through SearchOn with one reused cursor per
+		// worker block: Monte-Carlo against the cached Workload,
+		// analytic through the fused Eq.-(4) CostCursor with budget
+		// pruning (no per-distribution state to cache — the cursor is
+		// rebuilt per block from the distribution's closed forms).
+		var wl *simulate.Workload
 		if s.Mode == strategy.EvalMonteCarlo {
-			res, err := s.SearchOn(pl.model, d, pl.workload(d))
-			if err != nil {
-				return nil, err
-			}
-			return res.Sequence, nil
+			wl = pl.workload(d)
 		}
+		res, err := s.SearchOn(pl.model, d, wl)
+		if err != nil {
+			return nil, err
+		}
+		return res.Sequence, nil
 	case strategy.Discretized:
 		dd, err := pl.discrete(d, s)
 		if err != nil {

@@ -2,13 +2,30 @@
 # bench.sh — run the scoring benchmarks and refresh BENCH.json.
 #
 # Wraps cmd/bench: `go test -bench` over the candidate-scoring subset
-# (Workload fast path vs CostOnSamples, brute-force search, Eq.-(4) and
+# (Workload fast path vs CostOnSamples, brute-force search, the fused
+# analytic CostCursor vs per-candidate ExpectedCost, Eq.-(4) and
 # Eq.-(13) evaluation), parsed into a deterministic JSON report.
 #
 # Usage:
 #   scripts/bench.sh                     # default subset -> BENCH.json
 #   scripts/bench.sh -bench . -out all.json -benchtime 2s -count 3
+#   scripts/bench.sh -cpuprofile cpu.out -memprofile mem.out
+#   scripts/bench.sh --compare           # diff vs committed BENCH.json;
+#                                        # exit nonzero on >25% ns/op
+#                                        # regression, nothing written
+#
+# All other flags are passed through to cmd/bench (and from there to
+# `go test`); profile files and the compiled test binary land in the
+# repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go run ./cmd/bench "$@"
+args=()
+for arg in "$@"; do
+  case "$arg" in
+    --compare) args+=(-compare BENCH.json) ;;
+    *) args+=("$arg") ;;
+  esac
+done
+
+go run ./cmd/bench "${args[@]+"${args[@]}"}"

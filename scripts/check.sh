@@ -10,20 +10,25 @@
 #                   determinism invariants")
 #   4. go test    — the full unit/integration suite
 #   5. go test -race over the concurrency substrate: the parallel
-#      worker pool and the two simulators that fan out onto it.
+#      worker pool, the two simulators that fan out onto it, and the
+#      core package whose shared-cursor scoring runs on worker blocks.
 #
-# Usage: scripts/check.sh [--bench]
+# Usage: scripts/check.sh [--bench] [--compare]
 #
 # --bench additionally runs scripts/bench.sh after the gates pass,
-# refreshing BENCH.json with the scoring-benchmark numbers. It is
-# opt-in so the default gate stays fast.
+# refreshing BENCH.json with the scoring-benchmark numbers. --compare
+# instead re-runs the benchmarks and fails if any ns/op regressed by
+# more than 25% against the committed BENCH.json. Both are opt-in so
+# the default gate stays fast.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench=0
+run_compare=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
+    --compare) run_compare=1 ;;
     *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -41,11 +46,16 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency substrate)"
-go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/lru/... ./internal/service/...
+go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/lru/... ./internal/service/... ./internal/core/...
 
 echo "check.sh: all gates passed"
 
 if [ "$run_bench" = 1 ]; then
   echo "== scripts/bench.sh"
   scripts/bench.sh
+fi
+
+if [ "$run_compare" = 1 ]; then
+  echo "== scripts/bench.sh --compare"
+  scripts/bench.sh --compare
 fi
