@@ -221,6 +221,82 @@ func BenchmarkWorkloadScoring(b *testing.B) {
 	})
 }
 
+// TestHotPathAllocsZero pins the zero-allocation contract of the
+// scoring kernels that the //repro:hotpath annotations (and the
+// hotalloc / ifaceescape analyzers plus the cmd/lint -escapes gate)
+// enforce statically: scoring a candidate through the fused analytic
+// cursor, the recurrence cursor, or the precomputed workload must not
+// allocate once the per-block cursors are set up. If this test starts
+// failing, the static gate should be failing too — fix the allocation,
+// don't widen the baseline.
+func TestHotPathAllocsZero(t *testing.T) {
+	d := dist.MustLogNormal(3, 0.5)
+	m := core.ReservationOnly
+	lo, _ := d.Support()
+	hi := core.BoundFirstReservation(m, d)
+	// Mid-grid candidates, all valid for this law (verified below), so
+	// no scoring run hits the uncovered error path — whose record is a
+	// deliberate, baselined cold-path allocation.
+	t1s := make([]float64, 8)
+	for i := range t1s {
+		t1s[i] = lo + (hi-lo)*float64(i+4)/16
+	}
+
+	t.Run("cost-cursor", func(t *testing.T) {
+		cur := core.NewCostCursor(m, d, core.DefaultTailEps)
+		for _, t1 := range t1s {
+			if _, _, err := cur.CostBudget(t1, math.Inf(1)); err != nil {
+				t.Fatalf("t1=%g: %v", t1, err)
+			}
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			for _, t1 := range t1s {
+				_, _, _ = cur.CostBudget(t1, math.Inf(1))
+			}
+		}); n != 0 {
+			t.Errorf("CostCursor.CostBudget allocates %.1f per scan of %d candidates, want 0", n, len(t1s))
+		}
+	})
+
+	t.Run("workload", func(t *testing.T) {
+		wl := simulate.NewWorkload(simulate.Samples(d, 1000, 1))
+		rc := core.NewRecurrenceCursor(m, d, 0, core.DefaultTailEps)
+		// Boxing the cursor pointer once per block is the sanctioned
+		// pattern; the scoring loop itself must stay allocation-free.
+		var cur core.Cursor = &rc
+		for _, t1 := range t1s {
+			rc.Reset(t1)
+			if _, err := wl.Cost(m, cur); err != nil {
+				t.Fatalf("t1=%g: %v", t1, err)
+			}
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			for _, t1 := range t1s {
+				rc.Reset(t1)
+				_, _ = wl.Cost(m, cur)
+			}
+		}); n != 0 {
+			t.Errorf("Workload.Cost allocates %.1f per scan of %d candidates, want 0", n, len(t1s))
+		}
+	})
+
+	t.Run("recurrence-cursor", func(t *testing.T) {
+		rc := core.NewRecurrenceCursor(m, d, t1s[0], core.DefaultTailEps)
+		if n := testing.AllocsPerRun(100, func() {
+			for _, t1 := range t1s {
+				rc.Reset(t1)
+				for j := 0; j < 32; j++ {
+					if _, err := rc.Next(); err != nil {
+						break
+					}
+				}
+			}
+		}); n != 0 {
+			t.Errorf("RecurrenceCursor.Next allocates %.1f per scan, want 0", n)
+		}
+	})
+}
+
 // BenchmarkBruteForceWorkers measures the parallel speedup of the grid
 // scan.
 func BenchmarkBruteForceWorkers(b *testing.B) {

@@ -250,12 +250,19 @@ func parseBenchOutput(text string) (Report, error) {
 	return report, nil
 }
 
-// compareReports diffs current ns/op against the baseline for every
-// benchmark present in both reports, in baseline order. It returns one
-// human-readable line per shared benchmark plus notes for benchmarks
-// only one side has, and whether any shared benchmark's ns/op exceeds
-// baseline × tolerance. Faster-than-baseline results never fail: the
-// gate exists to catch lost fast paths, not to freeze improvements.
+// compareReports diffs current ns/op and allocs/op against the
+// baseline for every benchmark present in both reports, in baseline
+// order. It returns one human-readable line per shared benchmark plus
+// notes for benchmarks only one side has, and whether any shared
+// benchmark regressed: ns/op above baseline × tolerance, or allocs/op
+// measurably above baseline. Allocation counts are deterministic, so
+// they get no 25% slack — growth past rounding noise means a scoring
+// path gained an allocation, which is exactly what the static gate
+// (cmd/lint hotalloc/ifaceescape and the -escapes baseline) guards;
+// an ALLOC REGRESSION here that the static gate missed means a
+// hot-path annotation is missing. Faster-than-baseline results never
+// fail: the gate exists to catch lost fast paths, not to freeze
+// improvements.
 func compareReports(baseline, current Report, tolerance float64) (lines []string, regressed bool) {
 	cur := make(map[string]Result, len(current.Benchmarks))
 	for _, r := range current.Benchmarks {
@@ -275,8 +282,18 @@ func compareReports(baseline, current Report, tolerance float64) (lines []string
 			verdict = "REGRESSION"
 			regressed = true
 		}
-		lines = append(lines, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%) %s",
-			b.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, verdict))
+		allocs := ""
+		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
+			allocs = fmt.Sprintf(", %.0f -> %.0f allocs/op", b.AllocsPerOp, c.AllocsPerOp)
+			// +0.5 absorbs averaging across -count>1 runs; any real new
+			// allocation shifts the count by at least 1.
+			if c.AllocsPerOp > b.AllocsPerOp+0.5 {
+				verdict = "ALLOC REGRESSION (check go run ./cmd/lint -escapes ./...)"
+				regressed = true
+			}
+		}
+		lines = append(lines, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)%s %s",
+			b.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, allocs, verdict))
 	}
 	for _, c := range current.Benchmarks {
 		if !shared[c.Name] {

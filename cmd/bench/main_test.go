@@ -116,6 +116,38 @@ func TestCompareReportsZeroBaseline(t *testing.T) {
 	}
 }
 
+func TestCompareReportsAllocRegression(t *testing.T) {
+	baseline := Report{Benchmarks: []Result{
+		{Name: "BenchmarkHot", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "BenchmarkCold", NsPerOp: 1000, AllocsPerOp: 13},
+	}}
+	current := Report{Benchmarks: []Result{
+		{Name: "BenchmarkHot", NsPerOp: 1000, AllocsPerOp: 1}, // gained an allocation
+		{Name: "BenchmarkCold", NsPerOp: 1000, AllocsPerOp: 13},
+	}}
+	lines, regressed := compareReports(baseline, current, 1.25)
+	if !regressed {
+		t.Errorf("allocs/op 0 -> 1 not flagged; lines:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "ALLOC REGRESSION") || !strings.Contains(lines[0], "cmd/lint -escapes") {
+		t.Errorf("alloc regression line missing label or static-gate pointer: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "0 -> 1 allocs/op") {
+		t.Errorf("alloc counts not shown: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "REGRESSION") {
+		t.Errorf("stable allocs labeled as regression: %q", lines[1])
+	}
+
+	// Sub-allocation jitter from -count averaging stays inside the
+	// +0.5 slack; allocation drops never fail.
+	current.Benchmarks[0].AllocsPerOp = 0.4
+	current.Benchmarks[1].AllocsPerOp = 5
+	if lines, regressed := compareReports(baseline, current, 1.25); regressed {
+		t.Errorf("averaging jitter or an allocs/op drop flagged; lines:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
 func TestStripProcsSuffix(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkFoo-8":       "BenchmarkFoo",

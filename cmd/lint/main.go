@@ -10,9 +10,18 @@
 //	go run ./cmd/lint -json ./internal/dist ./cmd/reserve
 //
 // Findings are suppressed with a "//lint:ignore <rule> <reason>"
-// comment on the offending line or the line above. -tests adds
-// in-package _test.go files to the run. -rules restricts the suite to
-// a comma-separated subset.
+// comment on the offending line or the line above, or file-wide with
+// "//lint:file-ignore <rule> <reason>". Either form without a reason
+// suppresses nothing and is itself reported. -tests adds in-package
+// _test.go files to the run. -rules restricts the suite to a
+// comma-separated subset.
+//
+// -escapes switches to the compiler escape-analysis gate: it builds
+// the matched packages with -gcflags=-m, collects every heap-escape
+// diagnostic inside a //repro:hotpath function, and diffs the set
+// against the committed baseline (-baseline, default ESCAPES.json at
+// the module root). New escapes fail the gate with exit 1; -write
+// regenerates the baseline instead.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -47,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	withTests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	ruleList := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	listRules := fs.Bool("list", false, "list available rules and exit")
+	escapes := fs.Bool("escapes", false, "run the compiler escape-analysis gate over //repro:hotpath functions")
+	baseline := fs.String("baseline", "", "escape baseline file (default: ESCAPES.json at the module root)")
+	write := fs.Bool("write", false, "with -escapes: rewrite the baseline from a fresh scan instead of diffing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -98,6 +111,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lint: %v\n", err)
 		return 2
 	}
+	if *escapes {
+		return runEscapes(loader, dirs, *baseline, *write, stdout, stderr)
+	}
 	loader.IncludeTests = *withTests
 	enc := json.NewEncoder(stdout)
 	total, failed := 0, false
@@ -132,5 +148,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case total > 0:
 		return 1
 	}
+	return 0
+}
+
+// runEscapes implements the -escapes mode: scan, then either rewrite
+// the baseline (-write) or diff against it. Both new escapes and stale
+// baseline entries fail the gate — a stale entry is a free pass for
+// the next regression with the same message.
+func runEscapes(loader *analysis.Loader, dirs []string, baselinePath string, write bool, stdout, stderr io.Writer) int {
+	if loader.ModuleDir == "" {
+		fmt.Fprintln(stderr, "lint: -escapes requires a module root (no go.mod found)")
+		return 2
+	}
+	if baselinePath == "" {
+		baselinePath = filepath.Join(loader.ModuleDir, "ESCAPES.json")
+	}
+	recs, err := analysis.EscapeScan(loader.ModuleDir, dirs)
+	if err != nil {
+		fmt.Fprintf(stderr, "lint: %v\n", err)
+		return 2
+	}
+	if write {
+		if err := analysis.WriteEscapeBaseline(baselinePath, recs); err != nil {
+			fmt.Fprintf(stderr, "lint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "lint: wrote %d escape record(s) to %s\n", len(recs), baselinePath)
+		return 0
+	}
+	base, err := analysis.ReadEscapeBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "lint: %v\n", err)
+		return 2
+	}
+	unexpected, stale := analysis.DiffEscapes(recs, base)
+	for _, r := range unexpected {
+		fmt.Fprintf(stdout, "escape not in baseline: %s\n", r)
+	}
+	for _, r := range stale {
+		fmt.Fprintf(stdout, "stale baseline entry (escape no longer reported): %s\n", r)
+	}
+	if len(unexpected)+len(stale) > 0 {
+		fmt.Fprintf(stderr, "lint: escape gate failed (%d new, %d stale); if the new escapes are deliberate cold paths, regenerate with -escapes -write and commit %s\n",
+			len(unexpected), len(stale), filepath.Base(baselinePath))
+		return 1
+	}
+	fmt.Fprintf(stdout, "lint: escape gate clean (%d baselined escape(s) in hot-path functions)\n", len(recs))
 	return 0
 }

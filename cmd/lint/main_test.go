@@ -4,8 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 const fixtureDir = "../../internal/analysis/testdata/src/floatcmp"
@@ -88,9 +92,123 @@ func TestRunListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, rule := range []string{"floatcmp", "rngdiscipline", "maporder", "errcheck-lite", "synccheck"} {
+	for _, rule := range []string{"floatcmp", "rngdiscipline", "maporder", "errcheck-lite", "synccheck",
+		"hotalloc", "ifaceescape", "mutexcopy", "valuerecv"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing rule %s:\n%s", rule, out.String())
 		}
+	}
+}
+
+// lintRun executes run() capturing both streams.
+func lintRun(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRunLoadError pins exit code 2 for packages that fail to
+// type-check, including when mixed with packages that merely have
+// findings: load errors dominate.
+func TestRunLoadError(t *testing.T) {
+	code, _, errb := lintRun(t, "testdata/broken")
+	if code != 2 {
+		t.Errorf("broken package: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "undefinedSymbol") {
+		t.Errorf("stderr does not name the type error:\n%s", errb)
+	}
+	if code, _, _ := lintRun(t, "testdata/dirty", "testdata/broken"); code != 2 {
+		t.Errorf("dirty+broken: exit %d, want 2", code)
+	}
+	if code, out, _ := lintRun(t, "testdata/dirty"); code != 1 || !strings.Contains(out, "[floatcmp]") {
+		t.Errorf("dirty alone: exit %d, want 1 with a floatcmp finding:\n%s", code, out)
+	}
+	if code, _, _ := lintRun(t, "testdata/clean"); code != 0 {
+		t.Errorf("clean package: exit %d, want 0", code)
+	}
+}
+
+// TestEscapeGateDetectsInjectedEscape runs the -escapes gate end to end
+// against a standalone fixture module carrying one known heap escape in
+// a //repro:hotpath function: no baseline fails with exit 1 naming the
+// function, -write baselines it, the rerun is clean, and a stale
+// baseline entry fails again.
+func TestEscapeGateDetectsInjectedEscape(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "ESCAPES.json")
+
+	code, out, _ := lintRun(t, "-escapes", "-baseline", baseline, "testdata/escapemod")
+	if code != 1 {
+		t.Fatalf("no baseline: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "Leak") || !strings.Contains(out, "moved to heap: x") {
+		t.Errorf("gate output does not attribute the escape to Leak:\n%s", out)
+	}
+	if strings.Contains(out, "Stay") || strings.Contains(out, "Unannotated") {
+		t.Errorf("gate attributed escapes to the wrong functions:\n%s", out)
+	}
+
+	if code, out, _ := lintRun(t, "-escapes", "-baseline", baseline, "-write", "testdata/escapemod"); code != 0 {
+		t.Fatalf("-write: exit %d, want 0\n%s", code, out)
+	}
+	if code, out, _ := lintRun(t, "-escapes", "-baseline", baseline, "testdata/escapemod"); code != 0 {
+		t.Fatalf("baselined rerun: exit %d, want 0\n%s", code, out)
+	}
+
+	// Inject a stale record: an entry the compiler no longer reports
+	// must fail the gate, or the baseline could mask a regression with
+	// the same message later.
+	recs, err := analysis.ReadEscapeBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = append(recs, analysis.EscapeRecord{Pkg: ".", Func: "Stay", Text: "moved to heap: x"})
+	if err := analysis.WriteEscapeBaseline(baseline, recs); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = lintRun(t, "-escapes", "-baseline", baseline, "testdata/escapemod")
+	if code != 1 {
+		t.Fatalf("stale baseline: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "stale baseline entry") {
+		t.Errorf("stale entry not reported:\n%s", out)
+	}
+}
+
+// TestEscapesBaselineFresh fails when the committed ESCAPES.json no
+// longer matches a fresh scan of the repository: the baseline must
+// always be reproducible by -escapes -write, so it can never mask a
+// new escape.
+func TestEscapesBaselineFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module; skipped in -short")
+	}
+	if code, out, errb := lintRun(t, "-escapes", "../../..."); code != 0 {
+		t.Errorf("escape gate not clean against committed ESCAPES.json (exit %d); regenerate with: go run ./cmd/lint -escapes -write\n%s%s",
+			code, out, errb)
+	}
+	// The committed file must also be byte-stable under a rewrite
+	// (sorted records, fixed header), so -write never produces diff
+	// noise.
+	path := filepath.Join("..", "..", "ESCAPES.json")
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := analysis.ReadEscapeBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten := filepath.Join(t.TempDir(), "ESCAPES.json")
+	if err := analysis.WriteEscapeBaseline(rewritten, recs); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := os.ReadFile(rewritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(committed) != string(fresh) {
+		t.Errorf("committed ESCAPES.json is not byte-stable under rewrite")
 	}
 }

@@ -1,0 +1,4 @@
+// Package broken is a lint fixture that fails type-checking.
+package broken
+
+func f() int { return undefinedSymbol }

@@ -1,0 +1,5 @@
+// Package clean is a lint fixture with no findings.
+package clean
+
+// Add is trivially clean under every analyzer.
+func Add(a, b int) int { return a + b }

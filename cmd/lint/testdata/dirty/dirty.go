@@ -1,0 +1,5 @@
+// Package dirty is a lint fixture with one floatcmp finding.
+package dirty
+
+// Equal compares floats exactly, which floatcmp flags.
+func Equal(a, b float64) bool { return a == b }

@@ -1,0 +1,28 @@
+// Package escapemod is a standalone fixture module for the cmd/lint
+// -escapes end-to-end test: Leak carries one known heap escape inside
+// a //repro:hotpath function, Stay carries none.
+package escapemod
+
+// Leak forces its local onto the heap by returning its address.
+//
+//repro:hotpath
+func Leak(n int) *int {
+	x := n
+	return &x
+}
+
+// Stay allocates nothing; the escape gate must not attribute anything
+// to it.
+//
+//repro:hotpath
+func Stay(n int) int {
+	x := n
+	return x * 2
+}
+
+// Unannotated escapes too, but outside any hot-path function the gate
+// must ignore it.
+func Unannotated(n int) *int {
+	x := n
+	return &x
+}

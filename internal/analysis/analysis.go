@@ -12,8 +12,14 @@
 //
 //	//lint:ignore <rule> <reason>
 //
-// comment on the offending line or on the line directly above it; the
-// reason is mandatory so suppressions stay auditable.
+// comment on the offending line or on the line directly above it, or
+// for a whole file (generated code, fixtures) with
+//
+//	//lint:file-ignore <rule> <reason>
+//
+// anywhere in the file. The reason is mandatory so suppressions stay
+// auditable: an ignore without one suppresses nothing and is itself
+// reported under the always-on lintignore meta-rule.
 package analysis
 
 import (
@@ -56,6 +62,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Package is the loaded package, for queries that reach beyond the
+	// type information (e.g. //repro:hotpath annotations of
+	// dependencies).
+	Package *Package
 
 	diags *[]Diagnostic
 }
@@ -78,12 +88,18 @@ func All() []*Analyzer {
 		MapOrder,
 		ErrCheck,
 		SyncCheck,
+		HotAlloc,
+		IfaceEscape,
+		MutexCopy,
+		ValueRecv,
 	}
 }
 
 // Run executes every analyzer against the package and returns the
 // surviving diagnostics sorted by position. Findings suppressed by
-// lint:ignore comments are dropped.
+// lint:ignore / lint:file-ignore comments are dropped; malformed
+// ignores (no rule or no reason) are reported under the lintignore
+// meta-rule regardless of which analyzers run.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -93,6 +109,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Package:  pkg,
 			diags:    &diags,
 		}
 		a.Run(pass)
@@ -130,42 +147,91 @@ type ignoreKey struct {
 	rule string
 }
 
-// filterIgnored drops diagnostics covered by a "//lint:ignore <rule>
-// <reason>" comment on the same line or the line immediately above.
-// The wildcard rule "*" suppresses every rule at that site.
-func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
-	ignored := make(map[ignoreKey]bool)
+// fileIgnoreKey identifies one file-wide suppressed rule.
+type fileIgnoreKey struct {
+	file string
+	rule string
+}
+
+// LintIgnoreRule is the meta-rule under which malformed suppression
+// comments are reported. It always runs: an unauditable ignore must
+// never pass silently, whatever -rules subset was selected.
+const LintIgnoreRule = "lintignore"
+
+// ignoreSet is the parsed suppression state of one package, plus the
+// diagnostics its malformed ignores earn.
+type ignoreSet struct {
+	line map[ignoreKey]bool
+	file map[fileIgnoreKey]bool
+	bad  []Diagnostic
+}
+
+// collectIgnores parses every "//lint:ignore <rule> <reason>" and
+// "//lint:file-ignore <rule> <reason>" comment. An ignore with no rule
+// or no reason suppresses nothing and is reported under lintignore.
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{
+		line: make(map[ignoreKey]bool),
+		file: make(map[fileIgnoreKey]bool),
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:ignore ") {
+				// Like //go: directives, the marker must follow "//" with
+				// no space — "// lint:ignore ..." is prose about the
+				// directive, not a directive.
+				if !strings.HasPrefix(c.Text, "//lint:") {
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
-				if len(fields) < 2 {
-					// No reason given: the suppression is invalid and
-					// intentionally has no effect.
+				text := strings.TrimPrefix(c.Text, "//")
+				var directive string
+				switch {
+				case text == "lint:ignore" || strings.HasPrefix(text, "lint:ignore "):
+					directive = "lint:ignore"
+				case text == "lint:file-ignore" || strings.HasPrefix(text, "lint:file-ignore "):
+					directive = "lint:file-ignore"
+				default:
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				ignored[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				fields := strings.Fields(strings.TrimPrefix(text, directive))
+				if len(fields) < 2 {
+					set.bad = append(set.bad, Diagnostic{
+						Pos:  pos,
+						Rule: LintIgnoreRule,
+						Message: fmt.Sprintf("%s needs a rule and a reason (//%s <rule> <reason>); a bare ignore suppresses nothing",
+							directive, directive),
+					})
+					continue
+				}
+				if directive == "lint:file-ignore" {
+					set.file[fileIgnoreKey{pos.Filename, fields[0]}] = true
+				} else {
+					set.line[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
 			}
 		}
 	}
-	if len(ignored) == 0 {
-		return diags
-	}
+	return set
+}
+
+// filterIgnored drops diagnostics covered by a line ignore on the same
+// line or the line immediately above, or by a file ignore anywhere in
+// the diagnostic's file, and appends one finding per malformed ignore.
+// The wildcard rule "*" suppresses every rule at that site.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	set := collectIgnores(pkg)
 	kept := diags[:0]
 	for _, d := range diags {
-		if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
-			ignored[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}] ||
-			ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, "*"}] ||
-			ignored[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, "*"}] {
+		if set.line[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
+			set.line[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}] ||
+			set.line[ignoreKey{d.Pos.Filename, d.Pos.Line, "*"}] ||
+			set.line[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, "*"}] ||
+			set.file[fileIgnoreKey{d.Pos.Filename, d.Rule}] ||
+			set.file[fileIgnoreKey{d.Pos.Filename, "*"}] {
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	return append(kept, set.bad...)
 }

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the compiler escape-analysis gate behind
+// cmd/lint -escapes: run `go build -gcflags=-m` over the packages that
+// declare //repro:hotpath functions, keep the heap-escape diagnostics
+// whose positions fall inside an annotated function, and diff them
+// against the committed ESCAPES.json baseline. The AST analyzers
+// (hotalloc, ifaceescape) catch the allocation *sources* they can
+// prove; the compiler catches everything else — closures it could not
+// keep on the stack, values that outlive their frame through paths no
+// syntactic rule anticipates. Go's build cache replays -m diagnostics
+// for cached actions, so the gate costs one no-op build once the tree
+// has been compiled.
+
+// An EscapeRecord is one compiler heap-escape diagnostic attributed to
+// a hot-path function. Records are keyed by (package, function,
+// message) rather than by source line so the baseline survives
+// unrelated edits that shift line numbers.
+type EscapeRecord struct {
+	// Pkg is the module-relative package directory, slash-separated
+	// (e.g. "internal/core").
+	Pkg string `json:"pkg"`
+	// Func is the hot-path function, "Func" or "Type.Method".
+	Func string `json:"func"`
+	// Text is the compiler's diagnostic message, e.g.
+	// "&UncoveredError{...} escapes to heap".
+	Text string `json:"text"`
+}
+
+func (r EscapeRecord) key() string { return r.Pkg + "\x00" + r.Func + "\x00" + r.Text }
+
+// String renders the record as "pkg: Func: text".
+func (r EscapeRecord) String() string { return r.Pkg + ": " + r.Func + ": " + r.Text }
+
+// sortEscapes orders records deterministically for output and diffing.
+func sortEscapes(recs []EscapeRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Text < b.Text
+	})
+}
+
+// hotSpan locates the hot-path function covering line in one file.
+type hotSpan struct {
+	name     string
+	from, to int // inclusive line range
+}
+
+// escapeDiagRE matches one compiler diagnostic: "file:line:col: msg".
+var escapeDiagRE = regexp.MustCompile(`^(\S+?):(\d+):(\d+): (.+)$`)
+
+// isHeapEscape reports whether a -m diagnostic message records a heap
+// escape (as opposed to "does not escape", inlining notes, etc.).
+func isHeapEscape(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}
+
+// EscapeScan builds the packages in dirs with -gcflags=-m from
+// moduleDir and returns the heap-escape diagnostics that fall inside
+// //repro:hotpath functions, sorted. Directories without any hot-path
+// annotation are skipped. The scan is purely syntactic on the Go side
+// (parse only, no type-check); the compiler provides the semantics.
+func EscapeScan(moduleDir string, dirs []string) ([]EscapeRecord, error) {
+	absModule, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	// spans indexes hot-path function ranges by the module-relative
+	// slash path of each file, matching the compiler's output paths.
+	spans := make(map[string][]hotSpan)
+	pkgOf := make(map[string]string)
+	var buildArgs []string
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(absModule, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("escapes: %s is outside module %s", dir, absModule)
+		}
+		relSlash := filepath.ToSlash(rel)
+		bp, err := build.ImportDir(abs, 0)
+		if err != nil {
+			return nil, fmt.Errorf("escapes: %w", err)
+		}
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range bp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(abs, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("escapes: %w", err)
+			}
+			files = append(files, f)
+		}
+		funcs := HotpathFuncs(fset, files)
+		if len(funcs) == 0 {
+			continue
+		}
+		for _, hf := range funcs {
+			key := relSlash + "/" + filepath.Base(hf.File)
+			spans[key] = append(spans[key], hotSpan{name: hf.Name, from: hf.StartLine, to: hf.EndLine})
+			pkgOf[key] = relSlash
+		}
+		buildArgs = append(buildArgs, "./"+relSlash)
+	}
+	if len(buildArgs) == 0 {
+		return nil, nil
+	}
+	sort.Strings(buildArgs)
+
+	// -gcflags=-m applies to the named packages only, so diagnostics
+	// stay scoped to the annotated directories.
+	cmd := exec.Command("go", "build", "-gcflags=-m", "-o", os.DevNull)
+	cmd.Args = append(cmd.Args, buildArgs...)
+	cmd.Dir = absModule
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escapes: go build failed: %v\n%s", err, out.String())
+	}
+
+	var recs []EscapeRecord
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := escapeDiagRE.FindStringSubmatch(line)
+		if m == nil || strings.HasPrefix(m[1], "<autogenerated>") {
+			continue
+		}
+		msg := m[4]
+		if !isHeapEscape(msg) {
+			continue
+		}
+		file := filepath.ToSlash(m[1])
+		lineNo, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		for _, sp := range spans[file] {
+			if lineNo >= sp.from && lineNo <= sp.to {
+				r := EscapeRecord{Pkg: pkgOf[file], Func: sp.name, Text: msg}
+				if !seen[r.key()] {
+					seen[r.key()] = true
+					recs = append(recs, r)
+				}
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("escapes: reading go build output: %w", err)
+	}
+	sortEscapes(recs)
+	return recs, nil
+}
+
+// escapeBaseline is the on-disk shape of ESCAPES.json.
+type escapeBaseline struct {
+	Comment string         `json:"_comment,omitempty"`
+	Escapes []EscapeRecord `json:"escapes"`
+}
+
+const escapeBaselineComment = "Heap escapes the compiler reports inside //repro:hotpath functions. " +
+	"Every entry is a deliberate cold-path allocation (error construction, etc). " +
+	"Regenerate with: go run ./cmd/lint -escapes -write"
+
+// ReadEscapeBaseline loads ESCAPES.json. A missing file is an empty
+// baseline, so the gate can bootstrap a repository with no escapes.
+func ReadEscapeBaseline(path string) ([]EscapeRecord, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b escapeBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sortEscapes(b.Escapes)
+	return b.Escapes, nil
+}
+
+// WriteEscapeBaseline writes ESCAPES.json with sorted, deduplicated
+// records.
+func WriteEscapeBaseline(path string, recs []EscapeRecord) error {
+	recs = append([]EscapeRecord(nil), recs...)
+	sortEscapes(recs)
+	data, err := json.MarshalIndent(escapeBaseline{
+		Comment: escapeBaselineComment,
+		Escapes: recs,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// DiffEscapes compares a fresh scan against the baseline. unexpected
+// holds escapes the compiler reports that the baseline does not record
+// (the gate fails on these); stale holds baseline entries the compiler
+// no longer reports (the baseline should be regenerated so it cannot
+// mask a future regression).
+func DiffEscapes(got, baseline []EscapeRecord) (unexpected, stale []EscapeRecord) {
+	inBase := make(map[string]bool, len(baseline))
+	for _, r := range baseline {
+		inBase[r.key()] = true
+	}
+	inGot := make(map[string]bool, len(got))
+	for _, r := range got {
+		inGot[r.key()] = true
+		if !inBase[r.key()] {
+			unexpected = append(unexpected, r)
+		}
+	}
+	for _, r := range baseline {
+		if !inGot[r.key()] {
+			stale = append(stale, r)
+		}
+	}
+	sortEscapes(unexpected)
+	sortEscapes(stale)
+	return unexpected, stale
+}

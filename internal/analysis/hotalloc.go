@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotAlloc guards the zero-allocation discipline of the scoring
+// kernels: inside every //repro:hotpath function (and every method of a
+// //repro:hotpath type) it flags the AST-visible allocation sources —
+//
+//   - the allocating builtins: append (growth reallocates), make, new;
+//   - fmt calls and the allocating strconv formatters (Itoa,
+//     Format*, Quote*): formatting builds strings on the heap, and on a
+//     per-candidate path even an error-branch Sprintf shows up in
+//     allocs/op;
+//   - map and slice composite literals;
+//   - defer inside a loop (each iteration pushes a heap-allocated
+//     defer record; a function-scope defer is open-coded and free);
+//   - closures that capture enclosing variables (the capture forces a
+//     heap-allocated closure object whenever the func value escapes);
+//   - interface boxing at call sites: passing a concrete
+//     non-pointer-shaped value where an interface parameter is expected
+//     copies it onto the heap.
+//
+// The rule is deliberately conservative: some flagged sites are proven
+// stack-allocated by the compiler. Those earn a //lint:ignore with the
+// reasoning, and the cmd/lint -escapes gate (compiler escape analysis
+// against ESCAPES.json) keeps the proof honest per commit.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation sources (append/make/new, fmt/strconv, map/slice literals, loop defers, capturing closures, interface boxing) inside //repro:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// strconvFormatters are the strconv functions that return freshly
+// allocated strings. The Append* family (caller-managed buffers) and
+// the parsers are exempt; FormatBool returns interned constants.
+var strconvFormatters = map[string]bool{
+	"Itoa":             true,
+	"FormatFloat":      true,
+	"FormatInt":        true,
+	"FormatUint":       true,
+	"FormatComplex":    true,
+	"Quote":            true,
+	"QuoteRune":        true,
+	"QuoteToASCII":     true,
+	"QuoteRuneToASCII": true,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, hf := range HotpathFuncs(p.Fset, p.Files) {
+		if hf.Decl.Body == nil {
+			continue
+		}
+		checkHotAllocBody(p, hf.Name, hf.Decl)
+		checkLoopDefers(p, hf.Decl.Body, false)
+	}
+}
+
+// checkHotAllocBody walks one annotated declaration, including nested
+// closures (their bodies run on the same hot path).
+func checkHotAllocBody(p *Pass, name string, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, name, e)
+		case *ast.CompositeLit:
+			checkHotCompositeLit(p, name, e)
+		case *ast.FuncLit:
+			checkClosureCaptures(p, name, decl, e)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags at most one finding per call, in precedence order:
+// allocating builtin, fmt/strconv formatting, interface boxing of an
+// argument.
+func checkHotCall(p *Pass, name string, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				p.Reportf(call.Pos(), "append in hot path %s allocates when the slice grows; preallocate outside the hot path", name)
+				return
+			case "make":
+				p.Reportf(call.Pos(), "make in hot path %s allocates; hoist the buffer out of the per-candidate loop", name)
+				return
+			case "new":
+				p.Reportf(call.Pos(), "new in hot path %s allocates; use a stack value", name)
+				return
+			}
+		}
+	}
+	if obj := calleeOf(p.Info, call); obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "fmt":
+			p.Reportf(call.Pos(), "fmt.%s in hot path %s formats and allocates; move formatting off the hot path or predeclare the value", obj.Name(), name)
+			return
+		case "strconv":
+			if strconvFormatters[obj.Name()] {
+				p.Reportf(call.Pos(), "strconv.%s in hot path %s allocates a string; use the Append* form with a reused buffer", obj.Name(), name)
+				return
+			}
+		}
+	}
+	checkHotBoxing(p, name, call)
+}
+
+// checkHotBoxing flags call arguments whose concrete, non-pointer-shaped
+// value is passed where an interface is expected: the conversion copies
+// the value to the heap. Pointer-shaped values (pointers, maps, chans,
+// funcs) ride in the interface word itself — boxing a cursor pointer
+// once per worker block is the sanctioned pattern — and constants are
+// materialized in static data by the compiler.
+func checkHotBoxing(p *Pass, name string, call *ast.CallExpr) {
+	if isConversion(p.Info, call) {
+		tv := p.Info.Types[ast.Unparen(call.Fun)]
+		if tv.Type == nil || !types.IsInterface(tv.Type) || len(call.Args) != 1 {
+			return
+		}
+		if at, ok := boxableArg(p, call.Args[0]); ok {
+			p.Reportf(call.Args[0].Pos(), "converting %s to %s in hot path %s boxes it on the heap; convert a pointer instead", at, tv.Type, name)
+		}
+		return
+	}
+	ftv, ok := p.Info.Types[call.Fun]
+	if !ok || ftv.Type == nil {
+		return
+	}
+	sig, ok := ftv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			last := sig.Params().At(np - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last // arg is the slice itself
+			} else if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		if at, ok := boxableArg(p, arg); ok {
+			p.Reportf(arg.Pos(), "passing %s as %s in hot path %s boxes it on the heap; pass a pointer or hoist the conversion", at, pt, name)
+		}
+	}
+}
+
+// boxableArg reports whether converting arg to an interface allocates:
+// its static type is concrete and not pointer-shaped, and it is not a
+// constant (constants box into static data).
+func boxableArg(p *Pass, arg ast.Expr) (types.Type, bool) {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return nil, false
+	}
+	t := tv.Type
+	if types.IsInterface(t.Underlying()) {
+		return nil, false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return nil, false
+	case *types.Basic:
+		if t.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return nil, false
+		}
+	}
+	return t, true
+}
+
+// checkHotCompositeLit flags map and slice literals (each evaluation
+// allocates the backing store). Arrays and structs stay on the stack
+// unless they escape, which the -escapes gate tracks.
+func checkHotCompositeLit(p *Pass, name string, cl *ast.CompositeLit) {
+	tv, ok := p.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		p.Reportf(cl.Pos(), "slice literal in hot path %s allocates its backing array; hoist it to package level or the caller", name)
+	case *types.Map:
+		p.Reportf(cl.Pos(), "map literal in hot path %s allocates; hoist it to package level or the caller", name)
+	}
+}
+
+// checkClosureCaptures flags a func literal that references variables
+// declared in the enclosing function: the captures force a closure
+// object that is heap-allocated whenever the func value escapes (and
+// most scoring-path consumers, e.g. sort.Search pre-inlining, are
+// opaque to that proof).
+func checkClosureCaptures(p *Pass, name string, decl *ast.FuncDecl, lit *ast.FuncLit) {
+	captured := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing declaration but
+		// outside the literal. Package-level state is not a capture.
+		if v.Pos() >= decl.Pos() && v.Pos() < lit.Pos() {
+			captured[v.Name()] = true
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+	names := make([]string, 0, len(captured))
+	for n := range captured {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	p.Reportf(lit.Pos(), "closure in hot path %s captures %s; a capturing closure allocates when it escapes — pass state as arguments or hand-roll the loop", name, strings.Join(names, ", "))
+}
+
+// checkLoopDefers reports defer statements lexically inside a loop of
+// the hot-path function. Closure bodies restart the scan with the loop
+// context cleared (a defer inside a closure inside a loop fires at the
+// closure's return, not per iteration — but its own loops count).
+func checkLoopDefers(p *Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.ForStmt:
+			if s.Init != nil {
+				checkLoopDefers(p, s.Init, inLoop)
+			}
+			checkLoopDefers(p, s.Body, true)
+			return false
+		case *ast.RangeStmt:
+			checkLoopDefers(p, s.Body, true)
+			return false
+		case *ast.FuncLit:
+			checkLoopDefers(p, s.Body, false)
+			return false
+		case *ast.DeferStmt:
+			if inLoop {
+				p.Reportf(s.Pos(), "defer inside a loop allocates a defer record per iteration; restructure so the defer is function-scoped")
+			}
+		}
+		return true
+	})
+}

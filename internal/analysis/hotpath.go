@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The //repro:hotpath directive marks a function — or a type, whose
+// methods then inherit the mark — as a hot path: code executed once per
+// candidate / per sample inside the paper's scoring loops, which must
+// stay allocation-free. The directive is written as the last line of
+// the doc comment:
+//
+//	// CostBudget is Cost with an admissible early abort ...
+//	//
+//	//repro:hotpath
+//	func (c *CostCursor) CostBudget(t1, budget float64) ...
+//
+// Two enforcement layers consume it: the hotalloc/ifaceescape analyzers
+// (AST-level allocation sources) and the cmd/lint -escapes gate
+// (compiler escape-analysis diagnostics diffed against ESCAPES.json).
+const hotpathDirective = "repro:hotpath"
+
+// A HotpathFunc is one function or method covered by a //repro:hotpath
+// annotation, with the source span cmd/lint -escapes uses to attribute
+// compiler diagnostics.
+type HotpathFunc struct {
+	// Name is "Func" for a function, "Type.Method" for a method
+	// (pointer receivers drop the star).
+	Name string
+	// File is the file the declaration lives in, as recorded by the
+	// FileSet used to parse it.
+	File string
+	// StartLine and EndLine span the declaration inclusively.
+	StartLine, EndLine int
+	// Decl is the underlying declaration.
+	Decl *ast.FuncDecl
+}
+
+// hasHotpathDirective reports whether the comment group carries the
+// //repro:hotpath directive (with or without a space after "//").
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathTypeNames returns the names of the types annotated
+// //repro:hotpath in files (on the type spec or its enclosing group).
+func hotpathTypeNames(files []*ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasHotpathDirective(gd.Doc) || hasHotpathDirective(ts.Doc) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverBaseName returns the identifier naming a method's receiver
+// base type ("" for functions and unresolvable receivers), looking
+// through pointers, parentheses, and generic instantiations.
+func receiverBaseName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// HotpathFuncs returns every function in files covered by a
+// //repro:hotpath annotation — directly on the function, or inherited
+// from an annotated receiver type — sorted by (file, start line). It is
+// purely syntactic so the escape gate can use it on parse-only loads.
+func HotpathFuncs(fset *token.FileSet, files []*ast.File) []HotpathFunc {
+	hotTypes := hotpathTypeNames(files)
+	var out []HotpathFunc
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			recv := receiverBaseName(fd)
+			if !hasHotpathDirective(fd.Doc) && !(recv != "" && hotTypes[recv]) {
+				continue
+			}
+			name := fd.Name.Name
+			if recv != "" {
+				name = recv + "." + name
+			}
+			start := fset.Position(fd.Pos())
+			end := fset.Position(fd.End())
+			out = append(out, HotpathFunc{
+				Name:      name,
+				File:      start.Filename,
+				StartLine: start.Line,
+				EndLine:   end.Line,
+				Decl:      fd,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].StartLine < out[j].StartLine
+	})
+	return out
+}

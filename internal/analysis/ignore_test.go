@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one testdata/src package for a unit test.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// TestFileIgnoreSuppressesWholeFile checks that one
+// lint:file-ignore <rule> <reason> comment drops every finding of that
+// rule in its file — and only in its file.
+func TestFileIgnoreSuppressesWholeFile(t *testing.T) {
+	pkg := loadFixture(t, "ignores")
+	for _, d := range Run(pkg, []*Analyzer{FloatCmp}) {
+		if d.Rule == "floatcmp" && filepath.Base(d.Pos.Filename) == "ignores.go" {
+			t.Errorf("file-ignored finding survived: %s", d)
+		}
+	}
+}
+
+// TestMalformedIgnoreIsAFinding pins the audit rule: an ignore with no
+// rule or no reason suppresses nothing and is itself reported under the
+// lintignore meta-rule, whatever analyzer subset runs.
+func TestMalformedIgnoreIsAFinding(t *testing.T) {
+	pkg := loadFixture(t, "ignores")
+	diags := Run(pkg, []*Analyzer{FloatCmp})
+
+	var bad, float []Diagnostic
+	for _, d := range diags {
+		switch d.Rule {
+		case LintIgnoreRule:
+			bad = append(bad, d)
+		case "floatcmp":
+			float = append(float, d)
+		default:
+			t.Errorf("unexpected rule %q: %s", d.Rule, d)
+		}
+	}
+	// bad.go holds three malformed ignores: a bare lint:ignore, a
+	// lint:ignore with a rule but no reason, and a lint:file-ignore with
+	// a rule but no reason.
+	if len(bad) != 3 {
+		t.Errorf("got %d lintignore findings, want 3:\n%s", len(bad), formatDiags(bad))
+	}
+	for _, d := range bad {
+		if filepath.Base(d.Pos.Filename) != "bad.go" {
+			t.Errorf("lintignore finding outside bad.go: %s", d)
+		}
+		if !strings.Contains(d.Message, "needs a rule and a reason") {
+			t.Errorf("lintignore message does not explain the fix: %s", d)
+		}
+	}
+	// The reason-less line ignore in bad.go must not have suppressed the
+	// float comparison it sits above; the valid wildcard ignore must
+	// have suppressed its own.
+	if len(float) != 1 {
+		t.Errorf("got %d floatcmp findings in bad.go, want 1 (malformed ignore must not suppress):\n%s",
+			len(float), formatDiags(float))
+	}
+}
+
+// TestWildcardIgnoreSuppressesAllRules checks the "*" rule: a valid
+// wildcard line ignore drops every rule at that site.
+func TestWildcardIgnoreSuppressesAllRules(t *testing.T) {
+	pkg := loadFixture(t, "ignores")
+	for _, d := range Run(pkg, []*Analyzer{FloatCmp}) {
+		if d.Rule == "floatcmp" && d.Pos.Line >= 14 && filepath.Base(d.Pos.Filename) == "bad.go" {
+			t.Errorf("wildcard-ignored finding survived: %s", d)
+		}
+	}
+}
+
+func formatDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

@@ -24,6 +24,31 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// hotTypes names the //repro:hotpath-annotated types declared in
+	// this package; loader points back at the Loader that produced the
+	// package so annotations of memoized dependencies are queryable.
+	hotTypes map[string]bool
+	loader   *Loader
+}
+
+// IsHotpathType reports whether tn names a //repro:hotpath-annotated
+// type — declared in this package or in any dependency the loader has
+// already type-checked (dependencies are always loaded before their
+// importers, so the memo is complete by the time analyzers run).
+func (p *Package) IsHotpathType(tn *types.TypeName) bool {
+	if tn == nil || tn.Pkg() == nil {
+		return false
+	}
+	if tn.Pkg() == p.Types {
+		return p.hotTypes[tn.Name()]
+	}
+	if p.loader != nil {
+		if dep, ok := p.loader.pkgs[tn.Pkg().Path()]; ok {
+			return dep.hotTypes[tn.Name()]
+		}
+	}
+	return false
 }
 
 // A Loader parses and type-checks packages rooted at one module. It
@@ -175,12 +200,14 @@ func (l *Loader) Load(dir string) (*Package, error) {
 		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
 	}
 	pkg := &Package{
-		Path:  path,
-		Dir:   abs,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:     path,
+		Dir:      abs,
+		Fset:     l.Fset,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+		hotTypes: hotpathTypeNames(files),
+		loader:   l,
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil

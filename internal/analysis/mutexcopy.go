@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// MutexCopy is the call-site complement of synccheck's declaration-side
+// rules, guarding the concurrency-safe types internal/service and
+// repro.Planner hand around. Where synccheck flags parameters,
+// receivers, assignments, and range clauses, mutexcopy flags the
+// remaining ways an in-use lock is silently duplicated:
+//
+//   - passing a lock-bearing value as a call argument (the callee's
+//     declaration may be out of reach of the per-package parameter
+//     check: another package, an interface method, a func value);
+//   - returning a lock-bearing field, element, or dereference by value
+//     (the caller receives a private copy of live lock state);
+//   - initializing a composite-literal field by copying a lock-bearing
+//     value out of an existing variable.
+//
+// Fresh values are legal, as in synccheck: passing a composite literal
+// or a call result copies state no goroutine can hold yet, and a
+// constructor returning a whole local by value is the standard idiom —
+// only reads out of existing fields/elements are flagged on return
+// paths.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags lock-bearing values copied at call sites, returns of lock-bearing fields, and composite-literal copies",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if isConversion(p.Info, e) {
+					break
+				}
+				for _, arg := range e.Args {
+					checkMutexCopyRead(p, arg, "call argument", false)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range e.Results {
+					// A bare local identifier is the constructor idiom
+					// (fresh value, nothing holds its lock yet); only
+					// reads out of structured state are flagged.
+					checkMutexCopyRead(p, r, "return", true)
+				}
+			case *ast.CompositeLit:
+				for _, elt := range e.Elts {
+					checkMutexCopyRead(p, valueOfElt(elt), "composite literal", false)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMutexCopyRead reports e if it reads a lock-bearing value out of
+// existing state: an identifier, field selection, index, or
+// dereference whose type contains a sync primitive by value. When
+// skipIdents is set, bare identifiers are exempt.
+func checkMutexCopyRead(p *Pass, e ast.Expr, context string, skipIdents bool) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.Ident:
+		if skipIdents {
+			return
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	tv, ok := p.Info.Types[e]
+	// Only values count: skip constants and type expressions (the
+	// operand of new/make names a type, it copies nothing).
+	if !ok || tv.Type == nil || tv.Value != nil || !tv.IsValue() {
+		return
+	}
+	if containsLock(tv.Type) {
+		p.Reportf(e.Pos(), "%s copies %s which contains a sync primitive; pass or return a pointer", context, tv.Type)
+	}
+}

@@ -1,0 +1,91 @@
+// Package hotalloc is a golden-file fixture for the hotalloc analyzer.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// cursor is a hot-path type: every method inherits the annotation.
+//
+//repro:hotpath
+type cursor struct {
+	i    int
+	vals []float64
+}
+
+func (c *cursor) next() float64 {
+	c.vals = append(c.vals, 1) // want `append in hot path cursor.next allocates`
+	return c.vals[c.i]
+}
+
+func (c *cursor) grow(n int) {
+	c.vals = make([]float64, n) // want `make in hot path cursor.grow allocates`
+}
+
+func sink(v any) {}
+
+func apply(f func() int) int { return f() }
+
+func cleanup() {}
+
+//repro:hotpath
+func score(xs []float64, x int) float64 {
+	p := new(float64) // want `new in hot path score allocates`
+	_ = p
+	_ = fmt.Sprintf("%d", 1)          // want `fmt.Sprintf in hot path score formats and allocates`
+	_ = strconv.Itoa(x)               // want `strconv.Itoa in hot path score allocates a string`
+	weights := []float64{1, 2, 3}     // want `slice literal in hot path score allocates`
+	lookup := map[int]float64{1: 0.5} // want `map literal in hot path score allocates`
+	_ = lookup
+	sink(x) // want `passing int as any in hot path score boxes it on the heap`
+	total := 0.0
+	for _, w := range weights {
+		defer cleanup() // want `defer inside a loop allocates a defer record per iteration`
+		total += w
+	}
+	n := 0
+	_ = apply(func() int { // want `closure in hot path score captures n, total`
+		n++
+		return int(total)
+	})
+	return total
+}
+
+//repro:hotpath
+func allowed(xs []float64, e error, pc *cursor) float64 {
+	// Pointer-shaped and interface arguments do not box.
+	sink(e)
+	sink(pc)
+	sink(nil)
+	sink(3) // constant: materialized in static data, no runtime boxing
+	// Non-capturing closures are fine.
+	_ = apply(func() int { return 1 })
+	// Function-scope defer is open-coded and free.
+	defer cleanup()
+	// strconv parsers and Append* forms are exempt.
+	v, _ := strconv.ParseFloat("1.5", 64)
+	var buf [32]byte
+	_ = strconv.AppendFloat(buf[:0], v, 'g', -1, 64)
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func notAnnotated(x int) string {
+	// Same constructs outside a hot path: no findings.
+	s := []float64{1}
+	_ = append(s, 2)
+	m := map[int]int{1: 2}
+	_ = m
+	sink(x)
+	return fmt.Sprintf("%d", x)
+}
+
+//repro:hotpath
+func suppressed(x int) {
+	//lint:ignore hotalloc fixture exercises the escape hatch
+	sink(x)
+}

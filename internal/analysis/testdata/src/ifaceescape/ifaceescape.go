@@ -1,0 +1,83 @@
+// Package ifaceescape is a golden-file fixture for the ifaceescape
+// analyzer.
+package ifaceescape
+
+// cursor is a hot-path value type; converting it to an interface by
+// value copies it to the heap.
+//
+//repro:hotpath
+type cursor struct {
+	i    int
+	vals [8]float64
+}
+
+func (c cursor) Next() (float64, error) { return c.vals[c.i], nil }
+
+// plain is structurally identical but not annotated.
+type plain struct {
+	i    int
+	vals [8]float64
+}
+
+func (p plain) Next() (float64, error) { return p.vals[p.i], nil }
+
+type iterator interface {
+	Next() (float64, error)
+}
+
+func consume(it iterator) float64 {
+	v, _ := it.Next()
+	return v
+}
+
+func consumeAll(its ...iterator) {}
+
+func flaggedCalls() {
+	c := cursor{}
+	consume(c)        // want `converting hot-path type .*cursor to .*iterator boxes the value`
+	consumeAll(c, &c) // want `converting hot-path type .*cursor to .*iterator boxes the value`
+	_ = iterator(c)   // want `converting hot-path type .*cursor to .*iterator boxes the value`
+}
+
+func flaggedAssignments() {
+	c := cursor{}
+	var it iterator = c // want `converting hot-path type .*cursor to .*iterator boxes the value`
+	it = c              // want `converting hot-path type .*cursor to .*iterator boxes the value`
+	_ = it
+}
+
+func flaggedLiterals() {
+	c := cursor{}
+	_ = []iterator{c} // want `converting hot-path type .*cursor to .*iterator boxes the value`
+	_ = map[string]iterator{
+		"c": c, // want `converting hot-path type .*cursor to .*iterator boxes the value`
+	}
+	type holder struct {
+		it iterator
+	}
+	_ = holder{it: c} // want `converting hot-path type .*cursor to .*iterator boxes the value`
+}
+
+func flaggedReturn() iterator {
+	c := cursor{}
+	return c // want `converting hot-path type .*cursor to .*iterator boxes the value`
+}
+
+func allowedPointer() iterator {
+	c := cursor{}
+	consume(&c) // pointer boxing: the sanctioned once-per-block pattern
+	var it iterator = &c
+	_ = it
+	return &c
+}
+
+func allowedUnannotated() iterator {
+	p := plain{}
+	consume(p) // not a hot-path type
+	return p
+}
+
+func allowedConcrete(c cursor) cursor {
+	d := c // plain value copy, no interface involved
+	return d
+}

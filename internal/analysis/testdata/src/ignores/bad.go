@@ -1,0 +1,17 @@
+package ignores
+
+// The ignores below are malformed: no rule+reason pair. Each must earn
+// a lintignore finding and suppress nothing.
+
+//lint:ignore
+func bareIgnore(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+
+//lint:file-ignore floatcmp
+
+func wildcard(a, b float64) bool {
+	//lint:ignore * fixture exercises the wildcard rule
+	return a == b
+}

@@ -1,0 +1,19 @@
+// Package ignores is a fixture for the suppression machinery: line
+// ignores, file ignores, wildcards, and the lintignore meta-rule. It is
+// exercised by unit tests, not the golden harness, because its
+// deliberately malformed ignore comments produce lintignore findings
+// that no single analyzer owns.
+package ignores
+
+//lint:file-ignore floatcmp fixture exercises file-wide suppression
+
+func fileSuppressed(a, b float64) bool {
+	return a == b // suppressed by the file-ignore above
+}
+
+func alsoFileSuppressed(a, b float64) bool {
+	if a != b {
+		return false
+	}
+	return true
+}

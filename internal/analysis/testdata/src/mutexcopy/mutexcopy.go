@@ -1,0 +1,56 @@
+// Package mutexcopy is a golden-file fixture for the mutexcopy
+// analyzer.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// take's by-value parameter is synccheck's finding; the call sites
+// below are mutexcopy's.
+func take(g guarded) int { return g.n }
+
+type registry struct {
+	g     guarded
+	slots []guarded
+}
+
+func (r *registry) snapshot() guarded {
+	return r.g // want `return copies .*guarded which contains a sync primitive`
+}
+
+func (r *registry) slot(i int) guarded {
+	return r.slots[i] // want `return copies .*guarded which contains a sync primitive`
+}
+
+func flaggedCalls(r *registry, g guarded) {
+	take(r.g) // want `call argument copies .*guarded which contains a sync primitive`
+	take(g)   // want `call argument copies .*guarded which contains a sync primitive`
+}
+
+func flaggedLiteral(g guarded) registry {
+	return registry{
+		g: g, // want `composite literal copies .*guarded which contains a sync primitive`
+	}
+}
+
+func takePtr(g *guarded) int { return g.n }
+
+func allowed(r *registry) {
+	// Pointers share, fresh literals and call results carry no live
+	// lock state, and a constructor returning a whole local is the
+	// standard idiom.
+	takePtr(&r.g)
+	take(guarded{})
+	take(fresh())
+	takePtr(new(guarded)) // new's operand names a type, it copies nothing
+}
+
+func fresh() guarded {
+	var g guarded
+	g.n = 1
+	return g
+}

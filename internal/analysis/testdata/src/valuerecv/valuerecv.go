@@ -1,0 +1,44 @@
+// Package valuerecv is a golden-file fixture for the valuerecv
+// analyzer.
+package valuerecv
+
+// counter mixes receiver kinds: inc mutates through a pointer, but
+// value and String copy the state at every call.
+type counter struct {
+	n     int
+	cache map[int]int
+}
+
+func (c *counter) inc() { c.n++ }
+
+func (c counter) value() int { return c.n } // want `method counter.value uses a value receiver but counter has pointer-receiver methods \(inc\)`
+
+func (c counter) String() string { return "counter" } // want `method counter.String uses a value receiver but counter has pointer-receiver methods \(inc\)`
+
+// pure has only value receivers: an immutable model value, fine.
+type pure struct {
+	x float64
+}
+
+func (p pure) scaled(f float64) float64 { return p.x * f }
+
+func (p pure) offset(d float64) float64 { return p.x + d }
+
+// ptrOnly has only pointer receivers: fine.
+type ptrOnly struct {
+	m map[string]int
+}
+
+func (p *ptrOnly) set(k string) { p.m[k] = 1 }
+
+func (p *ptrOnly) get(k string) int { return p.m[k] }
+
+// mixed value receivers can be suppressed case by case.
+type sampler struct {
+	seed uint64
+}
+
+func (s *sampler) advance() { s.seed++ }
+
+//lint:ignore valuerecv fixture exercises the escape hatch
+func (s sampler) peek() uint64 { return s.seed }

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// ValueRecv enforces receiver-kind consistency: a type whose method set
+// mixes pointer and value receivers invites accidental state copies —
+// calling the value-receiver method on the shared instance snapshots
+// it, so mutations, cached fields, or lock state silently diverge. The
+// concurrency-safe types the plan service and repro.Planner share
+// between goroutines (and the //repro:hotpath cursor types, whose copy
+// cost is the point) must pick one kind; the rule flags each
+// value-receiver method of a type that also declares pointer-receiver
+// methods.
+//
+// Types with uniformly value receivers (immutable spec/model values
+// like core.CostModel) and uniformly pointer receivers are untouched.
+var ValueRecv = &Analyzer{
+	Name: "valuerecv",
+	Doc:  "flags value-receiver methods on types that also declare pointer-receiver methods",
+	Run:  runValueRecv,
+}
+
+func runValueRecv(p *Pass) {
+	type methods struct {
+		pointer []string
+		value   []*ast.FuncDecl
+	}
+	byType := make(map[string]*methods)
+	var order []string
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			base := receiverBaseName(fd)
+			if base == "" {
+				continue
+			}
+			m := byType[base]
+			if m == nil {
+				m = &methods{}
+				byType[base] = m
+				order = append(order, base)
+			}
+			if _, ptr := fd.Recv.List[0].Type.(*ast.StarExpr); ptr {
+				m.pointer = append(m.pointer, fd.Name.Name)
+			} else {
+				m.value = append(m.value, fd)
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, base := range order {
+		m := byType[base]
+		if len(m.pointer) == 0 || len(m.value) == 0 {
+			continue
+		}
+		ptr := append([]string(nil), m.pointer...)
+		sort.Strings(ptr)
+		for _, fd := range m.value {
+			p.Reportf(fd.Recv.List[0].Type.Pos(),
+				"method %s.%s uses a value receiver but %s has pointer-receiver methods (%s); each call copies the state — make the receiver *%s",
+				base, fd.Name.Name, base, strings.Join(ptr, ", "), base)
+		}
+	}
+}

@@ -28,6 +28,8 @@ import (
 // bit for bit: the fused loop performs the same IEEE-754 operations in
 // the same order, only skipping the redundant survival re-evaluations
 // (which are pure and bitwise reproducible).
+//
+//repro:hotpath
 type CostCursor struct {
 	m       CostModel
 	d       dist.Distribution
@@ -187,6 +189,8 @@ func (c *CostCursor) CostOf(cur Cursor) (float64, error) {
 // and scored with the convex objective (ExpectedCostConvex), fusing
 // the survival evaluations the same way. It reproduces
 // ExpectedCostConvex over SequenceFromFirstConvexTail bit for bit.
+//
+//repro:hotpath
 type ConvexCostCursor struct {
 	g       ConvexCost
 	beta    float64

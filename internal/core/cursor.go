@@ -25,6 +25,8 @@ type Cursor interface {
 // At(i). Advancing the cursor materializes the sequence's prefix, so a
 // SequenceCursor must not be shared — nor its sequence used — across
 // goroutines.
+//
+//repro:hotpath
 type SequenceCursor struct {
 	s *Sequence
 	i int
@@ -53,6 +55,8 @@ func (c *SequenceCursor) Next() (float64, error) {
 // value, including the tail-tolerance and bounded-support stopping
 // rules, but keeps only O(1) state (the recurrence needs just t_{i-1}
 // and t_{i-2}), so scoring a brute-force candidate allocates nothing.
+//
+//repro:hotpath
 type RecurrenceCursor struct {
 	m       CostModel
 	d       dist.Distribution

@@ -14,6 +14,8 @@ import (
 // It returns NaN when the density vanishes at t_i (the recurrence is
 // undefined there; Theorem 3 shows this cannot happen along an optimal
 // sequence).
+//
+//repro:hotpath
 func NextReservation(m CostModel, d dist.Distribution, tPrev, tCur float64) float64 {
 	f := d.PDF(tCur)
 	if !(f > 0) || math.IsInf(f, 0) {
@@ -152,6 +154,8 @@ func (c QuadraticCost) Inverse(y float64) float64 {
 // convex reservation cost G (Appendix C, Eq. 37):
 //
 //	t_{i+1} = G^{-1}( G'(t_i)·(1-F(t_{i-1}))/f(t_i) + β·((1-F(t_i))/f(t_i) - t_i) ).
+//
+//repro:hotpath
 func NextReservationConvex(g ConvexCost, beta float64, d dist.Distribution, tPrev, tCur float64) float64 {
 	f := d.PDF(tCur)
 	if !(f > 0) || math.IsInf(f, 0) {

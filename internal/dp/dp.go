@@ -74,20 +74,7 @@ func Solve(d *dist.Discrete, m core.CostModel) (Result, error) {
 			E[i] = 0
 			continue
 		}
-		best := math.Inf(1)
-		bestJ := -1
-		for j := i; j < n; j++ {
-			// Conditional expectation of β·min(X, v_j) given X >= v_i:
-			// Σ_{k=i..j} f_k v_k = W[i]-W[j+1]; tail uses v_j.
-			cost := m.Alpha*vals[j] + m.Gamma +
-				(m.Beta*(W[i]-W[j+1])+S[j+1]*(m.Beta*vals[j]+E[j+1]))/S[i]
-			if cost < best {
-				best = cost
-				bestJ = j
-			}
-		}
-		E[i] = best
-		choice[i] = bestJ
+		E[i], choice[i] = bestChoice(m, vals, S, W, E, i, n)
 	}
 
 	// Backtrack the sequence of chosen reservations.
@@ -239,29 +226,11 @@ func SolveMaxAttempts(d *dist.Discrete, m core.CostModel, maxAttempts int) (Resu
 				choice[k][i] = j
 				continue
 			}
-			best := inf
-			bestJ := -1
 			// Attempt budgets shorter than the remaining support need no
 			// explicit feasibility bound on j: a continuation that cannot
 			// cover the tail carries E[k-1][j+1] = +Inf (propagated up
-			// from the k=0 row) and is skipped below.
-			for j := i; j < n; j++ {
-				cont := 0.0
-				if j+1 <= n && S[j+1] > 0 {
-					cont = E[k-1][j+1]
-					if math.IsInf(cont, 1) {
-						continue // infeasible continuation
-					}
-				}
-				cost := m.Alpha*vals[j] + m.Gamma +
-					(m.Beta*(W[i]-W[j+1])+S[j+1]*(m.Beta*vals[j]+cont))/S[i]
-				if cost < best {
-					best = cost
-					bestJ = j
-				}
-			}
-			E[k][i] = best
-			choice[k][i] = bestJ
+			// from the k=0 row) and is skipped inside bestChoiceBudget.
+			E[k][i], choice[k][i] = bestChoiceBudget(m, vals, S, W, E[k-1], i, n)
 		}
 	}
 	if math.IsInf(E[maxAttempts][0], 1) {
@@ -279,4 +248,55 @@ func SolveMaxAttempts(d *dist.Discrete, m core.CostModel, maxAttempts int) (Resu
 		k--
 	}
 	return Result{Sequence: seq, ExpectedCost: E[maxAttempts][0]}, nil
+}
+
+// bestChoice is the inner argmin of Solve: the cheapest next
+// reservation index j for conditional start i, given the suffix sums S
+// and W and the already-filled continuation row E. It is the O(n) scan
+// executed O(n) times per solve, extracted so the hotalloc analyzers
+// and the cmd/lint -escapes gate cover it; the arithmetic is the exact
+// IEEE-754 operation sequence of the original inline loop.
+//
+//repro:hotpath
+func bestChoice(m core.CostModel, vals, S, W, E []float64, i, n int) (float64, int) {
+	best := math.Inf(1)
+	bestJ := -1
+	for j := i; j < n; j++ {
+		// Conditional expectation of β·min(X, v_j) given X >= v_i:
+		// Σ_{k=i..j} f_k v_k = W[i]-W[j+1]; tail uses v_j.
+		cost := m.Alpha*vals[j] + m.Gamma +
+			(m.Beta*(W[i]-W[j+1])+S[j+1]*(m.Beta*vals[j]+E[j+1]))/S[i]
+		if cost < best {
+			best = cost
+			bestJ = j
+		}
+	}
+	return best, bestJ
+}
+
+// bestChoiceBudget is bestChoice for the attempt-budgeted recursion of
+// SolveMaxAttempts: prev is the E[k-1] row, and a +Inf continuation
+// (infeasible with the remaining budget) is skipped rather than
+// propagated.
+//
+//repro:hotpath
+func bestChoiceBudget(m core.CostModel, vals, S, W, prev []float64, i, n int) (float64, int) {
+	best := math.Inf(1)
+	bestJ := -1
+	for j := i; j < n; j++ {
+		cont := 0.0
+		if j+1 <= n && S[j+1] > 0 {
+			cont = prev[j+1]
+			if math.IsInf(cont, 1) {
+				continue // infeasible continuation
+			}
+		}
+		cost := m.Alpha*vals[j] + m.Gamma +
+			(m.Beta*(W[i]-W[j+1])+S[j+1]*(m.Beta*vals[j]+cont))/S[i]
+		if cost < best {
+			best = cost
+			bestJ = j
+		}
+	}
+	return best, bestJ
 }

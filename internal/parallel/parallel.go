@@ -24,6 +24,10 @@ var (
 	peakWorkers   atomic.Int64
 )
 
+// noteWorkerStart runs once per spawned worker goroutine; the CAS loop
+// keeps it lock- and allocation-free.
+//
+//repro:hotpath
 func noteWorkerStart() {
 	a := activeWorkers.Add(1)
 	for {
@@ -34,6 +38,7 @@ func noteWorkerStart() {
 	}
 }
 
+//repro:hotpath
 func noteWorkerExit() {
 	activeWorkers.Add(-1)
 }

@@ -36,6 +36,8 @@ import (
 //
 // A Workload is immutable after construction and safe for concurrent
 // use; the per-call cursor carries all iteration state.
+//
+//repro:hotpath
 type Workload struct {
 	sorted  []float64 // ascending copy of the samples
 	prefix  []float64 // prefix[r] = Σ_{j<r} sorted[j]
@@ -73,11 +75,43 @@ func (w *Workload) N() int { return len(w.sorted) }
 // callers must not modify it.
 func (w *Workload) Sorted() []float64 { return w.sorted }
 
+// errNoSamples is hoisted so the empty-workload check costs nothing on
+// the per-candidate path.
+var errNoSamples = errors.New("simulate: workload has no samples")
+
+// An UncoveredError reports a reservation sequence that ended below the
+// workload's largest sample. It wraps core.ErrUncovered and carries the
+// sample bound so callers can diagnose the gap; constructing it instead
+// of fmt.Errorf keeps formatting (and its allocations) off the scoring
+// loop — the message is built only when Error is called.
+type UncoveredError struct {
+	// Max is the largest sample in the workload.
+	Max float64
+}
+
+func (e *UncoveredError) Error() string {
+	return fmt.Sprintf("simulate: workload (max sample %g): %v", e.Max, core.ErrUncovered)
+}
+
+// Unwrap makes errors.Is(err, core.ErrUncovered) hold.
+func (e *UncoveredError) Unwrap() error { return core.ErrUncovered }
+
 // covering returns c = #{j : X_j <= t} given that lo of the smallest
-// samples are already known to be <= t.
+// samples are already known to be <= t. The binary search is
+// hand-rolled (same loop as sort.Search) so the hot path carries no
+// closure: a capturing func literal passed to sort.Search is an
+// allocation the compiler cannot always elide.
 func (w *Workload) covering(t float64, lo int) int {
-	tail := w.sorted[lo:]
-	return lo + sort.Search(len(tail), func(j int) bool { return tail[j] > t })
+	i, j := lo, len(w.sorted)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if w.sorted[h] <= t {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i
 }
 
 // Cost returns the Eq.-(13) empirical mean cost of the sequence yielded
@@ -87,7 +121,7 @@ func (w *Workload) covering(t float64, lo int) int {
 func (w *Workload) Cost(m core.CostModel, cur core.Cursor) (float64, error) {
 	n := len(w.sorted)
 	if n == 0 {
-		return math.NaN(), errors.New("simulate: workload has no samples")
+		return math.NaN(), errNoSamples
 	}
 	covered := 0 // c_{i-1}: samples finished before the current attempt
 	total := 0.0
@@ -95,7 +129,7 @@ func (w *Workload) Cost(m core.CostModel, cur core.Cursor) (float64, error) {
 		ti, err := cur.Next()
 		if err != nil {
 			if errors.Is(err, core.ErrEnd) {
-				return math.Inf(1), fmt.Errorf("simulate: workload (max sample %g): %w", w.sorted[n-1], core.ErrUncovered)
+				return math.Inf(1), &UncoveredError{Max: w.sorted[n-1]}
 			}
 			return math.NaN(), err
 		}
@@ -126,7 +160,7 @@ func (w *Workload) CostSequence(m core.CostModel, s *core.Sequence) (float64, er
 func (w *Workload) Estimate(m core.CostModel, cur core.Cursor) (Estimate, error) {
 	n := len(w.sorted)
 	if n == 0 {
-		return Estimate{}, errors.New("simulate: workload has no samples")
+		return Estimate{}, errNoSamples
 	}
 	covered := 0
 	sum, sum2 := 0.0, 0.0
@@ -136,7 +170,7 @@ func (w *Workload) Estimate(m core.CostModel, cur core.Cursor) (Estimate, error)
 		ti, err := cur.Next()
 		if err != nil {
 			if errors.Is(err, core.ErrEnd) {
-				return Estimate{}, fmt.Errorf("simulate: workload (max sample %g): %w", w.sorted[n-1], core.ErrUncovered)
+				return Estimate{}, &UncoveredError{Max: w.sorted[n-1]}
 			}
 			return Estimate{}, err
 		}

@@ -157,6 +157,8 @@ func (b BruteForce) EvaluateT1On(m core.CostModel, d dist.Distribution, t1 float
 // recurrence cursor: no Sequence is built, no clone taken. The caller
 // owns the cursor (already positioned at t1) and may reuse it across
 // candidates via Reset.
+//
+//repro:hotpath
 func evalWorkload(m core.CostModel, t1 float64, wl *simulate.Workload, cur *core.RecurrenceCursor) Candidate {
 	cost, err := wl.Cost(m, cur)
 	if err != nil || math.IsNaN(cost) || math.IsInf(cost, 1) {
@@ -169,6 +171,8 @@ func evalWorkload(m core.CostModel, t1 float64, wl *simulate.Workload, cur *core
 // cost cursor, abandoning it once the partial sum exceeds budget. The
 // caller owns the cursor and reuses it across candidates (it carries
 // no per-candidate state).
+//
+//repro:hotpath
 func evalAnalytic(t1, budget float64, cur *core.CostCursor) Candidate {
 	cost, pruned, err := cur.CostBudget(t1, budget)
 	if err != nil || math.IsNaN(cost) || math.IsInf(cost, 1) {

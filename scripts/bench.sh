@@ -14,6 +14,14 @@
 #                                        # exit nonzero on >25% ns/op
 #                                        # regression, nothing written
 #
+# The allocs/op column of BENCH.json is the dynamic twin of the static
+# allocation gate: the hotalloc/ifaceescape analyzers and the committed
+# ESCAPES.json baseline (cmd/lint -escapes) keep the scoring kernels
+# allocation-free at the source level, and --compare catches any
+# regression those proofs miss at run time. An allocs/op increase on a
+# scoring benchmark means a hot-path function gained an allocation —
+# check `go run ./cmd/lint -escapes ./...` before touching the baseline.
+#
 # All other flags are passed through to cmd/bench (and from there to
 # `go test`); profile files and the compiled test binary land in the
 # repository root.

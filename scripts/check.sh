@@ -4,12 +4,17 @@
 # Every PR must pass this end-to-end. It layers, in order:
 #   1. go build   — everything compiles
 #   2. go vet     — the toolchain's own static checks
-#   3. cmd/lint   — the repo-specific determinism/concurrency analyzers
-#                   (floatcmp, rngdiscipline, maporder, errcheck-lite,
-#                   synccheck; see DESIGN.md "Static analysis &
-#                   determinism invariants")
-#   4. go test    — the full unit/integration suite
-#   5. go test -race over the concurrency substrate: the parallel
+#   3. cmd/lint   — the repo-specific determinism/concurrency/allocation
+#                   analyzers (floatcmp, rngdiscipline, maporder,
+#                   errcheck-lite, synccheck, hotalloc, ifaceescape,
+#                   mutexcopy, valuerecv; see DESIGN.md "Static analysis
+#                   & determinism invariants")
+#   4. cmd/lint -escapes — the compiler escape-analysis gate: heap
+#      escapes inside //repro:hotpath functions must match the committed
+#      ESCAPES.json baseline exactly (regenerate deliberate cold-path
+#      additions with `go run ./cmd/lint -escapes -write`)
+#   5. go test    — the full unit/integration suite
+#   6. go test -race over the concurrency substrate: the parallel
 #      worker pool, the two simulators that fan out onto it, and the
 #      core package whose shared-cursor scoring runs on worker blocks.
 #
@@ -41,6 +46,9 @@ go vet ./...
 
 echo "== go run ./cmd/lint ./..."
 go run ./cmd/lint ./...
+
+echo "== go run ./cmd/lint -escapes ./..."
+go run ./cmd/lint -escapes ./...
 
 echo "== go test ./..."
 go test ./...
