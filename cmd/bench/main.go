@@ -40,11 +40,13 @@ import (
 )
 
 // defaultBench is the scoring-path subset — the candidate-evaluation
-// benchmarks the empirical-cost fast path is accountable to — plus the
+// benchmarks the empirical-cost fast path is accountable to, the DP
+// solver benchmarks (sub-quadratic fast path, O(n²) reference scan,
+// budgeted variant) and the batched grid-scoring pair — plus the
 // plan-service pair contrasting cached and uncached request latency.
 // The full suite (-bench .) includes multi-second experiment drivers
 // and is opt-in.
-const defaultBench = "^(BenchmarkWorkloadScoring|BenchmarkBruteForceScoring|BenchmarkAnalyticScoring|BenchmarkMonteCarlo|BenchmarkExpectedCost|BenchmarkPlanServiceCached|BenchmarkPlanServiceUncached)$"
+const defaultBench = "^(BenchmarkWorkloadScoring|BenchmarkBruteForceScoring|BenchmarkAnalyticScoring|BenchmarkBatchedScoring|BenchmarkDPSolve|BenchmarkDPSolveScan|BenchmarkDPSolveBudget|BenchmarkMonteCarlo|BenchmarkExpectedCost|BenchmarkPlanServiceCached|BenchmarkPlanServiceUncached)$"
 
 // compareTolerance is the -compare regression threshold: a benchmark
 // fails the gate when its current ns/op exceeds the baseline by more

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -145,6 +147,79 @@ func TestCompareReportsAllocRegression(t *testing.T) {
 	current.Benchmarks[1].AllocsPerOp = 5
 	if lines, regressed := compareReports(baseline, current, 1.25); regressed {
 		t.Errorf("averaging jitter or an allocs/op drop flagged; lines:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestCompareAgainstCommittedBaseline exercises the -compare gate
+// against the repository's committed BENCH.json: the baseline must
+// carry the DP solver benchmarks, compare clean against itself, and
+// flag a synthetic DP slowdown (×1.3 ns/op) and a gained allocation
+// the way a real regression would surface.
+func TestCompareAgainstCommittedBaseline(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var baseline Report
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		t.Fatalf("parsing BENCH.json: %v", err)
+	}
+	byName := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		byName[r.Name] = r
+	}
+	for _, want := range []string{
+		"BenchmarkDPSolve/n=256",
+		"BenchmarkDPSolve/n=4096",
+		"BenchmarkDPSolve/n=16384",
+		"BenchmarkDPSolveScan/n=4096",
+		"BenchmarkDPSolveBudget/fast/n=4096/k=8",
+		"BenchmarkDPSolveBudget/scan/n=4096/k=8",
+		"BenchmarkBatchedScoring/monte-carlo/batched",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("committed BENCH.json missing %s (regenerate with scripts/bench.sh)", want)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	// The committed fast-path number must document the ≥5× speedup over
+	// the retained reference scan at the headline size.
+	fast, scan := byName["BenchmarkDPSolve/n=4096"], byName["BenchmarkDPSolveScan/n=4096"]
+	if !(fast.NsPerOp > 0) || scan.NsPerOp/fast.NsPerOp < 5 {
+		t.Errorf("BENCH.json DP speedup at n=4096 is %.1fx (scan %.0f / fast %.0f ns/op), want >= 5x",
+			scan.NsPerOp/fast.NsPerOp, scan.NsPerOp, fast.NsPerOp)
+	}
+
+	if _, regressed := compareReports(baseline, baseline, compareTolerance); regressed {
+		t.Error("baseline does not compare clean against itself")
+	}
+
+	degraded := Report{Benchmarks: make([]Result, len(baseline.Benchmarks))}
+	copy(degraded.Benchmarks, baseline.Benchmarks)
+	var slowed, fattened string
+	for i, r := range degraded.Benchmarks {
+		switch r.Name {
+		case "BenchmarkDPSolve/n=4096":
+			degraded.Benchmarks[i].NsPerOp = r.NsPerOp * 1.3
+			slowed = r.Name
+		case "BenchmarkDPSolveBudget/fast/n=4096/k=8":
+			degraded.Benchmarks[i].AllocsPerOp = r.AllocsPerOp + 1
+			fattened = r.Name
+		}
+	}
+	lines, regressed := compareReports(baseline, degraded, compareTolerance)
+	if !regressed {
+		t.Fatalf("degraded DP entries not flagged; lines:\n%s", strings.Join(lines, "\n"))
+	}
+	for _, l := range lines {
+		if strings.Contains(l, slowed+":") && !strings.Contains(l, "REGRESSION") {
+			t.Errorf("%s slowdown not labeled: %q", slowed, l)
+		}
+		if strings.Contains(l, fattened+":") && !strings.Contains(l, "ALLOC REGRESSION") {
+			t.Errorf("%s gained allocation not labeled: %q", fattened, l)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	serve [-addr :8080] [-cache 256] [-planner-cache 32]
 //	      [-worker-budget 0] [-request-timeout 30s] [-shutdown-grace 5s]
+//	      [-dpverify]
 //
 // The server stops gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, then waits up to -shutdown-grace for in-flight requests
@@ -24,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dp"
 	"repro/internal/service"
 )
 
@@ -35,6 +37,7 @@ type config struct {
 	workerBudget     int
 	requestTimeout   time.Duration
 	shutdownGrace    time.Duration
+	dpVerify         bool
 }
 
 // parseFlags parses and validates the command line.
@@ -47,6 +50,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.workerBudget, "worker-budget", 0, "max concurrent plan computations (0 = GOMAXPROCS)")
 	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "per-request computation timeout (0 = none)")
 	fs.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 5*time.Second, "graceful-shutdown drain deadline")
+	fs.BoolVar(&cfg.dpVerify, "dpverify", false, "cross-check every DP row computed by the sub-quadratic solvers against the reference scan (debug; slow)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -77,6 +81,10 @@ func parseFlags(args []string) (config, error) {
 // run serves until the listener fails or ctx is canceled, then drains
 // gracefully.
 func run(ctx context.Context, cfg config, logger *log.Logger) error {
+	if cfg.dpVerify {
+		dp.SetVerifyRows(true)
+		logger.Printf("dpverify: per-row DP cross-checking enabled")
+	}
 	handler := service.New(service.Config{
 		CacheSize:        cfg.cacheSize,
 		PlannerCacheSize: cfg.plannerCacheSize,

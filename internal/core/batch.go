@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// SurvivalTable precomputes the survival and density of a distribution
+// at every point of a brute-force t1 grid, so a scan can evaluate
+// whole blocks of candidates against one lookup table instead of
+// paying the first special-function calls per candidate. For
+// Gamma/Beta-type laws Survival and PDF dominate candidate scoring, and
+// the first reservation's pair is re-evaluated by every candidate that
+// expands past its first step; the table computes each grid point's
+// pair exactly once, in a single cache-friendly pass that parallelizes
+// over blocks (Fill is safe to call concurrently on disjoint ranges).
+//
+// The stored values are bit-identical to what the cursors would
+// compute themselves: T1 applies the paper's grid formula
+// t1 = lo + (hi-lo)·(g+1)/M, and SF/PDF evaluate at the same
+// support-clamped point the cursors use, so seeding a cursor from the
+// table never changes a result — only who performs the calls.
+//
+// A table is immutable after Fill and safe for concurrent readers.
+//
+//repro:hotpath
+type SurvivalTable struct {
+	d       dist.Distribution
+	lo, hi  float64
+	m       int
+	bound   float64 // support upper bound (cursor clamp target)
+	bounded bool
+	sf0     float64 // Survival(0), shared by every candidate
+
+	t1s []float64 // raw grid points (unclamped, as handed to cursors)
+	sf  []float64 // Survival at the clamped grid point
+	pdf []float64 // PDF at the clamped grid point
+}
+
+// NewSurvivalTable allocates a table for the M-point grid on [lo, hi]
+// (the brute-force search interval: lo = support start, hi =
+// BoundFirstReservation). The entries are not computed yet — call Fill,
+// typically one block per worker.
+func NewSurvivalTable(d dist.Distribution, lo, hi float64, m int) *SurvivalTable {
+	_, bound := d.Support()
+	return &SurvivalTable{
+		d: d, lo: lo, hi: hi, m: m,
+		bound: bound, bounded: !math.IsInf(bound, 1),
+		sf0: d.Survival(0.0),
+		t1s: make([]float64, m),
+		sf:  make([]float64, m),
+		pdf: make([]float64, m),
+	}
+}
+
+// Fill computes the grid points [g0, g1) in one pass. Disjoint blocks
+// may be filled concurrently.
+func (t *SurvivalTable) Fill(g0, g1 int) {
+	for g := g0; g < g1; g++ {
+		// Paper's grid: t1 = a + m·(b-a)/M for m = 1..M — the exact
+		// expression of the scan loop, so the stored point matches the
+		// scanned candidate bitwise.
+		t1 := t.lo + (t.hi-t.lo)*float64(g+1)/float64(t.m)
+		t.t1s[g] = t1
+		if t.bounded && t1 >= t.bound {
+			t1 = t.bound // the cursors' first-step clamp
+		}
+		t.sf[g] = t.d.Survival(t1)
+		t.pdf[g] = t.d.PDF(t1)
+	}
+}
+
+// Len returns the number of grid points.
+func (t *SurvivalTable) Len() int { return t.m }
+
+// T1 returns grid point g as handed to a cursor (unclamped).
+func (t *SurvivalTable) T1(g int) float64 { return t.t1s[g] }
+
+// SF returns the survival at the clamped grid point g.
+func (t *SurvivalTable) SF(g int) float64 { return t.sf[g] }
+
+// PDF returns the density at the clamped grid point g.
+func (t *SurvivalTable) PDF(g int) float64 { return t.pdf[g] }
+
+// SF0 returns Survival(0), the shared first survival of every
+// candidate.
+func (t *SurvivalTable) SF0() float64 { return t.sf0 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// batchTestDists covers the clamping cases the table must reproduce:
+// an unbounded law (no clamp), a bounded one whose grid top touches
+// the support bound (clamp active at the last points), and a bounded
+// heavy-tail law.
+func batchTestDists(t *testing.T) []dist.Distribution {
+	t.Helper()
+	return []dist.Distribution{
+		dist.MustLogNormal(3, 0.5),
+		dist.MustUniform(0, 10),
+		dist.MustBoundedPareto(1, 50, 1.5),
+	}
+}
+
+func TestSurvivalTableMatchesDirectCalls(t *testing.T) {
+	const M = 257
+	for _, d := range batchTestDists(t) {
+		lo, _ := d.Support()
+		m := CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1}
+		hi := BoundFirstReservation(m, d)
+		tab := NewSurvivalTable(d, lo, hi, M)
+		tab.Fill(0, M)
+		if tab.Len() != M {
+			t.Fatalf("Len = %d, want %d", tab.Len(), M)
+		}
+		_, bound := d.Support()
+		for g := 0; g < M; g++ {
+			t1 := lo + (hi-lo)*float64(g+1)/float64(M)
+			//lint:ignore floatcmp bit-identity is the contract under test
+			if tab.T1(g) != t1 {
+				t.Fatalf("T1(%d) = %g, want grid point %g", g, tab.T1(g), t1)
+			}
+			clamped := t1
+			if !math.IsInf(bound, 1) && clamped >= bound {
+				clamped = bound
+			}
+			//lint:ignore floatcmp bit-identity is the contract under test
+			if tab.SF(g) != d.Survival(clamped) {
+				t.Fatalf("SF(%d) = %g, want Survival(%g) = %g", g, tab.SF(g), clamped, d.Survival(clamped))
+			}
+			//lint:ignore floatcmp bit-identity is the contract under test
+			if tab.PDF(g) != d.PDF(clamped) {
+				t.Fatalf("PDF(%d) = %g, want PDF(%g) = %g", g, tab.PDF(g), clamped, d.PDF(clamped))
+			}
+		}
+		//lint:ignore floatcmp bit-identity is the contract under test
+		if tab.SF0() != d.Survival(0.0) {
+			t.Fatalf("SF0 = %g, want %g", tab.SF0(), d.Survival(0.0))
+		}
+	}
+}
+
+// TestSurvivalTableBlockFillMatchesWholeFill pins that filling the
+// grid in disjoint blocks (the parallel pattern) writes the same
+// entries as one pass.
+func TestSurvivalTableBlockFillMatchesWholeFill(t *testing.T) {
+	const M = 100
+	d := dist.MustLogNormal(3, 0.5)
+	m := CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1}
+	lo, _ := d.Support()
+	hi := BoundFirstReservation(m, d)
+	whole := NewSurvivalTable(d, lo, hi, M)
+	whole.Fill(0, M)
+	blocks := NewSurvivalTable(d, lo, hi, M)
+	for g := 0; g < M; g += 7 {
+		end := g + 7
+		if end > M {
+			end = M
+		}
+		blocks.Fill(g, end)
+	}
+	for g := 0; g < M; g++ {
+		//lint:ignore floatcmp bit-identity is the contract under test
+		if whole.T1(g) != blocks.T1(g) || whole.SF(g) != blocks.SF(g) || whole.PDF(g) != blocks.PDF(g) {
+			t.Fatalf("block fill diverges at grid point %d", g)
+		}
+	}
+}
+
+// TestCostBudgetSeededBitIdentical drives CostBudget and
+// CostBudgetSeeded over a full grid — with and without pruning — and
+// asserts bitwise-equal costs and identical prune/error outcomes.
+func TestCostBudgetSeededBitIdentical(t *testing.T) {
+	const M = 400
+	models := []CostModel{
+		ReservationOnly,
+		{Alpha: 1, Beta: 0.5, Gamma: 0.1},
+	}
+	for _, d := range batchTestDists(t) {
+		for _, m := range models {
+			lo, _ := d.Support()
+			hi := BoundFirstReservation(m, d)
+			tab := NewSurvivalTable(d, lo, hi, M)
+			tab.Fill(0, M)
+			plain := NewCostCursor(m, d, DefaultTailEps)
+			seeded := NewCostCursor(m, d, DefaultTailEps)
+			for _, budgeted := range []bool{false, true} {
+				incumbent := math.Inf(1)
+				for g := 0; g < M; g++ {
+					t1 := tab.T1(g)
+					budget := math.Inf(1)
+					if budgeted {
+						budget = incumbent
+					}
+					c1, p1, err1 := plain.CostBudget(t1, budget)
+					c2, p2, err2 := seeded.CostBudgetSeeded(t1, budget, tab.SF(g), tab.PDF(g))
+					//lint:ignore floatcmp bit-identity is the contract under test
+					if c1 != c2 && !(math.IsNaN(c1) && math.IsNaN(c2)) {
+						t.Fatalf("%s/%v budgeted=%v g=%d: cost %v != seeded %v", d, m, budgeted, g, c1, c2)
+					}
+					if p1 != p2 || !errors.Is(err2, err1) || (err1 == nil) != (err2 == nil) {
+						t.Fatalf("%s/%v budgeted=%v g=%d: (pruned,err) (%v,%v) != seeded (%v,%v)",
+							d, m, budgeted, g, p1, err1, p2, err2)
+					}
+					if err1 == nil && !p1 && !math.IsNaN(c1) && c1 < incumbent {
+						incumbent = c1
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRecurrenceCursorResetSeededBitIdentical walks a seeded and an
+// unseeded cursor over the same candidates and asserts the streams are
+// bitwise equal, including the terminating error.
+func TestRecurrenceCursorResetSeededBitIdentical(t *testing.T) {
+	const M = 300
+	for _, d := range batchTestDists(t) {
+		m := CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1}
+		lo, _ := d.Support()
+		hi := BoundFirstReservation(m, d)
+		tab := NewSurvivalTable(d, lo, hi, M)
+		tab.Fill(0, M)
+		plain := NewRecurrenceCursor(m, d, 0, DefaultTailEps)
+		seeded := NewRecurrenceCursor(m, d, 0, DefaultTailEps)
+		for g := 0; g < M; g++ {
+			plain.Reset(tab.T1(g))
+			seeded.ResetSeeded(tab.T1(g), tab.SF0(), tab.SF(g), tab.PDF(g))
+			for step := 0; step < 64; step++ {
+				v1, err1 := plain.Next()
+				v2, err2 := seeded.Next()
+				//lint:ignore floatcmp bit-identity is the contract under test
+				if v1 != v2 && !(math.IsNaN(v1) && math.IsNaN(v2)) {
+					t.Fatalf("%s g=%d step=%d: %v != seeded %v", d, g, step, v1, v2)
+				}
+				if (err1 == nil) != (err2 == nil) || (err1 != nil && !errors.Is(err2, err1)) {
+					t.Fatalf("%s g=%d step=%d: err %v != seeded err %v", d, g, step, err1, err2)
+				}
+				if err1 != nil {
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/simulate"
+)
+
+// sameCandidate asserts bitwise equality of two candidate records
+// (NaN costs compare equal to each other).
+func sameCandidate(a, b Candidate) bool {
+	//lint:ignore floatcmp bit-identity is the contract under test
+	if a.T1 != b.T1 {
+		return false
+	}
+	//lint:ignore floatcmp bit-identity is the contract under test
+	if a.Cost != b.Cost && !(math.IsNaN(a.Cost) && math.IsNaN(b.Cost)) {
+		return false
+	}
+	return a.Valid == b.Valid && a.Pruned == b.Pruned
+}
+
+// TestBatchedSearchBitIdentical runs SearchOn with Batched off and on,
+// across worker counts and scoring modes, and asserts the winner and
+// every candidate record are bitwise equal. Each comparison holds the
+// worker count fixed, so even under the default analytic prune the two
+// runs share block layout and budget evolution — the pruned sets must
+// coincide exactly, not just the winner.
+func TestBatchedSearchBitIdentical(t *testing.T) {
+	m := core.CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1}
+	dists := []dist.Distribution{
+		dist.MustLogNormal(3, 0.5),
+		dist.MustUniform(0, 10),
+	}
+	const gridM = 400
+	for _, d := range dists {
+		wl := simulate.NewWorkloadFrom(d, 200, 7)
+		cases := []struct {
+			name string
+			base BruteForce
+			wl   *simulate.Workload
+		}{
+			{"monte-carlo", BruteForce{M: gridM, N: 200, Seed: 7, Mode: EvalMonteCarlo}, wl},
+			{"analytic-full", BruteForce{M: gridM, Mode: EvalAnalytic, FullCosts: true}, nil},
+			{"analytic-pruned", BruteForce{M: gridM, Mode: EvalAnalytic}, nil},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				for _, workers := range []int{1, 3, 8} {
+					plain := tc.base
+					plain.Workers = workers
+					batched := plain
+					batched.Batched = true
+					res1, err1 := plain.SearchOn(m, d, tc.wl)
+					res2, err2 := batched.SearchOn(m, d, tc.wl)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("workers=%d: errs %v / %v", workers, err1, err2)
+					}
+					if !sameCandidate(res1.Best, res2.Best) {
+						t.Fatalf("workers=%d: best %+v != batched %+v", workers, res1.Best, res2.Best)
+					}
+					for i := range res1.Candidates {
+						if !sameCandidate(res1.Candidates[i], res2.Candidates[i]) {
+							t.Fatalf("workers=%d: candidate %d: %+v != batched %+v",
+								workers, i, res1.Candidates[i], res2.Candidates[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedWinnerStableAcrossWorkers pins that the batched scan's
+// winner does not depend on the worker count (the seed guarantee of
+// the unbatched scan carries over).
+func TestBatchedWinnerStableAcrossWorkers(t *testing.T) {
+	m := core.CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1}
+	d := dist.MustLogNormal(3, 0.5)
+	var ref *SearchResult
+	for _, workers := range []int{1, 2, 5, 16} {
+		b := BruteForce{M: 600, Mode: EvalAnalytic, Batched: true, Workers: workers}
+		res, err := b.Search(m, d)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			r := res
+			ref = &r
+			continue
+		}
+		if !sameCandidate(ref.Best, res.Best) {
+			t.Fatalf("workers=%d: best %+v != reference %+v", workers, res.Best, ref.Best)
+		}
+	}
+}

@@ -4,7 +4,11 @@
 # Wraps cmd/bench: `go test -bench` over the candidate-scoring subset
 # (Workload fast path vs CostOnSamples, brute-force search, the fused
 # analytic CostCursor vs per-candidate ExpectedCost, Eq.-(4) and
-# Eq.-(13) evaluation), parsed into a deterministic JSON report.
+# Eq.-(13) evaluation), the DP solver set (sub-quadratic fast path vs
+# the retained O(n²) reference scan at n = 256/4096/16384, plus the
+# K-budgeted variant) and the batched grid-scoring pair
+# (survival-lookup table vs per-candidate evaluation), parsed into a
+# deterministic JSON report.
 #
 # Usage:
 #   scripts/bench.sh                     # default subset -> BENCH.json

@@ -15,8 +15,10 @@
 #      additions with `go run ./cmd/lint -escapes -write`)
 #   5. go test    — the full unit/integration suite
 #   6. go test -race over the concurrency substrate: the parallel
-#      worker pool, the two simulators that fan out onto it, and the
-#      core package whose shared-cursor scoring runs on worker blocks.
+#      worker pool, the two simulators that fan out onto it, the core
+#      package whose shared-cursor scoring runs on worker blocks, and
+#      the DP package whose verify/fallback switches are process-wide
+#      atomics exercised from concurrent solves.
 #
 # Usage: scripts/check.sh [--bench] [--compare]
 #
@@ -54,7 +56,7 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency substrate)"
-go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/lru/... ./internal/service/... ./internal/core/...
+go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/lru/... ./internal/service/... ./internal/core/... ./internal/dp/...
 
 echo "check.sh: all gates passed"
 
