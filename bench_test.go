@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/discretize"
 	"repro/internal/dist"
@@ -661,6 +662,44 @@ func BenchmarkOnlineLearner(b *testing.B) {
 					b.Fatal(err)
 				}
 				if _, err := online.Evaluate(l, truth, 100, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterSim measures the fleet simulator end to end — event
+// heap, ledger, EASY backfill, and the streaming trace hash — on
+// pre-generated workloads of 10k and 100k multi-attempt jobs (the
+// generation itself is deterministic and excluded from the timing).
+func BenchmarkClusterSim(b *testing.B) {
+	law := dist.MustWeibull(1, 0.5)
+	policy := []float64{law.Quantile(0.5), law.Quantile(0.9), law.Quantile(0.999)}
+	cfg := cluster.Config{
+		Nodes:    []int{16, 16, 16, 16},
+		Tenants:  []cluster.Tenant{{Name: "fleet", Budget: math.Inf(1)}},
+		Backfill: cluster.BackfillEASY,
+		Model:    core.CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1},
+	}
+	for _, n := range []int{10_000, 100_000} {
+		spec := cluster.WorkloadSpec{
+			Seed: 42, Jobs: n,
+			ArrivalRate: 0.7 * 64 / (law.Mean() * 1.5),
+			Classes: []cluster.JobClass{{
+				Name: "weibull", Runtime: law, Weight: 1,
+				MinWidth: 1, MaxWidth: 2, Policy: policy,
+			}},
+		}
+		jobs, err := cluster.GenerateJobs(spec, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%dk", n/1000), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := cfg
+				run.Recorder = cluster.NewTraceHash()
+				if _, err := cluster.Simulate(run, jobs); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,261 @@
+// Command clustersim runs the paper's reservation strategies through
+// the fleet-scale cluster simulator (internal/cluster): it generates a
+// synthetic workload from a Table-1 law, turns each strategy's
+// reservation sequence into a per-job admission policy, simulates the
+// same workload under every strategy, and compares utilization, waits,
+// and cost:
+//
+//	clustersim                             # all strategies, Exp(1), 100k jobs
+//	clustersim -dist "weibull(1,0.5)" -jobs 1000000 -backfill conservative
+//	clustersim -strategies mean-stdev,equal-prob -check
+//	clustersim -quota 8 -budget 1e6        # metered tenant under pressure
+//
+// Every run is deterministic in -seed (and independent of -workers);
+// the trace-hash column is the proof — equal hashes mean bit-identical
+// event traces. Pass -check to stream the full trace through the
+// invariant checker (capacity conservation, budget/quota accounting,
+// job lifecycle); any violation aborts the run. Results are printed
+// and, with -out DIR, also written as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/tablefmt"
+)
+
+func main() {
+	var (
+		distSpec   = flag.String("dist", "exp(1)", "runtime law (e.g. exp(1), weibull(1,0.5), lognormal(3,0.5))")
+		strategies = flag.String("strategies", "all", "comma-separated strategy names, or 'all'")
+		jobs       = flag.Int("jobs", 100000, "number of jobs to generate")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		rate       = flag.Float64("rate", 0, "Poisson arrival rate (0 = auto-size for ~70% offered load)")
+		nodes      = flag.Int("nodes", 16, "number of nodes")
+		nodeCap    = flag.Int("cap", 4, "capacity of each node")
+		minWidth   = flag.Int("minwidth", 1, "minimum job width")
+		maxWidth   = flag.Int("maxwidth", 4, "maximum job width")
+		attempts   = flag.Int("maxattempts", 16, "cap on reservation attempts per job")
+		backfill   = flag.String("backfill", "easy", "backfill policy: none|easy|conservative")
+		preempt    = flag.Float64("preempt", 0, "preempt backfilled jobs blocking a job waiting longer than this (0 = off)")
+		budget     = flag.Float64("budget", 0, "tenant budget (0 = unmetered)")
+		quota      = flag.Int("quota", 0, "tenant node quota (0 = unlimited)")
+		alpha      = flag.Float64("alpha", 1, "cost model: per-second reservation price")
+		beta       = flag.Float64("beta", 0.5, "cost model: per-second usage price")
+		gamma      = flag.Float64("gamma", 0.1, "cost model: per-attempt price")
+		workers    = flag.Int("workers", 0, "generation workers (0 = all cores); never changes the result")
+		check      = flag.Bool("check", false, "stream every trace through the invariant checker")
+		outDir     = flag.String("out", "", "also write CSV results into this directory")
+	)
+	flag.Parse()
+
+	opt := options{
+		DistSpec:    *distSpec,
+		Strategies:  splitStrategies(*strategies),
+		Jobs:        *jobs,
+		Seed:        *seed,
+		Rate:        *rate,
+		Nodes:       *nodes,
+		NodeCap:     *nodeCap,
+		MinWidth:    *minWidth,
+		MaxWidth:    *maxWidth,
+		MaxAttempts: *attempts,
+		Backfill:    *backfill,
+		Preempt:     *preempt,
+		Budget:      *budget,
+		Quota:       *quota,
+		Model:       repro.CostModel{Alpha: *alpha, Beta: *beta, Gamma: *gamma},
+		Workers:     *workers,
+		Check:       *check,
+	}
+	table, err := compare(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(table.String())
+	if *outDir != "" {
+		path, err := writeCSV(*outDir, table)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("csv written to", path)
+	}
+}
+
+// options carries the parsed flag set; it exists so tests can drive the
+// full comparison without a process boundary.
+type options struct {
+	DistSpec    string
+	Strategies  []string
+	Jobs        int
+	Seed        uint64
+	Rate        float64
+	Nodes       int
+	NodeCap     int
+	MinWidth    int
+	MaxWidth    int
+	MaxAttempts int
+	Backfill    string
+	Preempt     float64
+	Budget      float64
+	Quota       int
+	Model       repro.CostModel
+	Workers     int
+	Check       bool
+}
+
+func splitStrategies(s string) []string {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return repro.Strategies()
+	}
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+func parseBackfill(s string) (cluster.BackfillPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none":
+		return cluster.BackfillNone, nil
+	case "easy":
+		return cluster.BackfillEASY, nil
+	case "conservative":
+		return cluster.BackfillConservative, nil
+	}
+	return 0, fmt.Errorf("unknown backfill policy %q (want none, easy, or conservative)", s)
+}
+
+// compare runs the same seeded workload under every requested strategy
+// and tabulates the outcomes. The generated jobs are identical across
+// strategies — only the per-job reservation policy differs — so the
+// columns are directly comparable.
+func compare(opt options) (*tablefmt.Table, error) {
+	if len(opt.Strategies) == 0 {
+		return nil, fmt.Errorf("no strategies selected")
+	}
+	if opt.Nodes <= 0 || opt.NodeCap <= 0 {
+		return nil, fmt.Errorf("need a positive node count and capacity")
+	}
+	d, err := repro.ParseDistribution(opt.DistSpec)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := repro.NewPlanner(opt.Model, repro.Options{})
+	if err != nil {
+		return nil, err
+	}
+	capacity := opt.Nodes * opt.NodeCap
+	rate := opt.Rate
+	if rate <= 0 {
+		// Offered load ≈ rate · E[X] · E[width] / capacity: size the
+		// arrival rate so the fleet sits near 70% offered load.
+		meanWidth := float64(opt.MinWidth)
+		if opt.MaxWidth > opt.MinWidth {
+			meanWidth = float64(opt.MinWidth+opt.MaxWidth) / 2
+		}
+		rate = 0.7 * float64(capacity) / (d.Mean() * meanWidth)
+	}
+	back, err := parseBackfill(opt.Backfill)
+	if err != nil {
+		return nil, err
+	}
+	tenantBudget := opt.Budget
+	if tenantBudget <= 0 {
+		tenantBudget = math.Inf(1)
+	}
+	cfg := cluster.Config{
+		Nodes:        fleetNodes(opt.Nodes, opt.NodeCap),
+		Tenants:      []cluster.Tenant{{Name: "fleet", Budget: tenantBudget, Quota: opt.Quota}},
+		Backfill:     back,
+		Model:        pl.CostModel(),
+		PreemptAfter: opt.Preempt,
+	}
+
+	table := tablefmt.New(
+		fmt.Sprintf("clustersim: %s, %d jobs on %d×%d nodes, rate %.3g, %s backfill (seed %d)",
+			d.Name(), opt.Jobs, opt.Nodes, opt.NodeCap, rate, back, opt.Seed),
+		"strategy", "attempts", "mean att", "kills", "rejected", "util",
+		"mean wait", "p95 wait", "mean cost", "trace hash",
+	)
+	for _, name := range opt.Strategies {
+		policy, err := pl.AdmissionPolicy(d, name, opt.MaxAttempts)
+		if err != nil {
+			return nil, err
+		}
+		spec := cluster.WorkloadSpec{
+			Seed:        opt.Seed,
+			Jobs:        opt.Jobs,
+			ArrivalRate: rate,
+			Classes: []cluster.JobClass{{
+				Name:     d.Name(),
+				Runtime:  d,
+				Weight:   1,
+				MinWidth: opt.MinWidth,
+				MaxWidth: opt.MaxWidth,
+				Policy:   policy,
+			}},
+		}
+		out, err := cluster.Run(spec, cfg, opt.Workers, opt.Check)
+		if err != nil {
+			return nil, fmt.Errorf("strategy %s: %w", name, err)
+		}
+		killed := 0
+		for _, r := range out.Results {
+			if r.Killed {
+				killed++
+			}
+		}
+		table.AddRow(
+			name,
+			fmt.Sprintf("%d", len(policy)),
+			tablefmt.Num(out.Stats.MeanAttempts),
+			fmt.Sprintf("%d", killed),
+			fmt.Sprintf("%d", out.Stats.Rejected),
+			fmt.Sprintf("%.4f", out.Stats.Utilization),
+			tablefmt.Num(out.Stats.MeanWait),
+			tablefmt.Num(out.Stats.WaitP95),
+			tablefmt.Num(out.Stats.MeanCost),
+			fmt.Sprintf("%016x", out.TraceHash),
+		)
+	}
+	return table, nil
+}
+
+// fleetNodes builds a homogeneous node list.
+func fleetNodes(n, capacity int) []int {
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = capacity
+	}
+	return nodes
+}
+
+// writeCSV writes the comparison table into dir and returns the path.
+func writeCSV(dir string, table *tablefmt.Table) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "clustersim.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := table.WriteCSV(f); err != nil {
+		_ = f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

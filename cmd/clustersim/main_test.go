@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/cluster"
+)
+
+func testOptions() options {
+	return options{
+		DistSpec:    "exp(1)",
+		Strategies:  []string{"mean-doubling", "equal-probability"},
+		Jobs:        1500,
+		Seed:        7,
+		Nodes:       4,
+		NodeCap:     2,
+		MinWidth:    1,
+		MaxWidth:    2,
+		MaxAttempts: 8,
+		Backfill:    "easy",
+		Model:       repro.CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1},
+		Check:       true,
+	}
+}
+
+func TestCompareTabulatesEveryStrategy(t *testing.T) {
+	opt := testOptions()
+	table, err := compare(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Rows() != len(opt.Strategies) {
+		t.Fatalf("%d rows for %d strategies", table.Rows(), len(opt.Strategies))
+	}
+	out := table.String()
+	for _, name := range opt.Strategies {
+		if !strings.Contains(out, name) {
+			t.Errorf("table misses strategy %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestCompareWorkerIndependence: the rendered table embeds the trace
+// hash of every run, so string equality across worker counts proves the
+// event traces are bit-identical.
+func TestCompareWorkerIndependence(t *testing.T) {
+	var rendered []string
+	for _, workers := range []int{1, 4, 16} {
+		opt := testOptions()
+		opt.Workers = workers
+		table, err := compare(opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		rendered = append(rendered, table.String())
+	}
+	for i := 1; i < len(rendered); i++ {
+		if rendered[i] != rendered[0] {
+			t.Fatalf("results differ between 1 and %d workers:\n%s\nvs\n%s",
+				[]int{1, 4, 16}[i], rendered[0], rendered[i])
+		}
+	}
+}
+
+func TestCompareMeteredTenant(t *testing.T) {
+	opt := testOptions()
+	opt.Strategies = []string{"mean-doubling"}
+	opt.Budget = 200 // tight: most jobs are rejected, accounting must stay clean
+	opt.Quota = 3
+	table, err := compare(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Rows() != 1 {
+		t.Fatalf("got %d rows", table.Rows())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"no strategies", func(o *options) { o.Strategies = nil }},
+		{"unknown strategy", func(o *options) { o.Strategies = []string{"no-such"} }},
+		{"bad distribution", func(o *options) { o.DistSpec = "not-a-law(1)" }},
+		{"bad backfill", func(o *options) { o.Backfill = "aggressive" }},
+		{"zero nodes", func(o *options) { o.Nodes = 0 }},
+		{"zero capacity", func(o *options) { o.NodeCap = 0 }},
+	}
+	for _, tc := range cases {
+		opt := testOptions()
+		tc.mutate(&opt)
+		if _, err := compare(opt); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSplitStrategies(t *testing.T) {
+	if got := splitStrategies(" all "); len(got) != len(repro.Strategies()) {
+		t.Fatalf("'all' expanded to %v", got)
+	}
+	got := splitStrategies("mean-doubling, equal-time ,")
+	if len(got) != 2 || got[0] != "mean-doubling" || got[1] != "equal-time" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseBackfill(t *testing.T) {
+	for in, want := range map[string]cluster.BackfillPolicy{
+		"none": cluster.BackfillNone, "EASY": cluster.BackfillEASY,
+		" conservative ": cluster.BackfillConservative,
+	} {
+		got, err := parseBackfill(in)
+		if err != nil || got != want {
+			t.Errorf("parseBackfill(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseBackfill("firstfit"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	opt := testOptions()
+	opt.Strategies = opt.Strategies[:1]
+	opt.Jobs = 200
+	table, err := compare(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "results")
+	path, err := writeCSV(dir, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "strategy,") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+}

@@ -1,0 +1,549 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// unitCfg is a plain cluster: n unit nodes, one unmetered tenant, no
+// costs.
+func unitCfg(n int, backfill BackfillPolicy) Config {
+	return Config{Nodes: UnitNodes(n), Backfill: backfill}
+}
+
+func mustSimulate(t *testing.T, cfg Config, jobs []Job) []Result {
+	t.Helper()
+	res, err := Simulate(cfg, jobs)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return res
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	res := mustSimulate(t, unitCfg(2, BackfillEASY), nil)
+	if len(res) != 0 {
+		t.Fatalf("want no results, got %d", len(res))
+	}
+	s := Summarize(unitCfg(2, BackfillEASY), res)
+	if s.Jobs != 0 || s.MeanWait != 0 || s.Utilization != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSimulateSingleJob(t *testing.T) {
+	cfg := unitCfg(1, BackfillNone)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 7, Arrival: 2, Width: 1, Actual: 3, Policy: []float64{5}},
+	})
+	r := res[0]
+	if r.ID != 7 || r.Start != 2 || r.End != 5 || r.Wait != 0 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+	if r.Killed || r.Rejected || r.Backfilled {
+		t.Fatalf("flags wrong: %+v", r)
+	}
+	if r.Attempts != 1 || r.Kills != 0 || r.NodeSeconds != 3 {
+		t.Fatalf("accounting wrong: %+v", r)
+	}
+}
+
+func TestKillAndResubmitChain(t *testing.T) {
+	// Actual 10 under policy [2, 5, 12]: killed at 2 and at 5, then
+	// runs to completion on the third attempt.
+	cfg := unitCfg(1, BackfillNone)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 10, Policy: []float64{2, 5, 12}},
+	})
+	r := res[0]
+	if r.Killed {
+		t.Fatalf("final attempt covered the runtime, not killed: %+v", r)
+	}
+	if r.Attempts != 3 || r.Kills != 2 {
+		t.Fatalf("want 3 attempts / 2 kills, got %+v", r)
+	}
+	// Timeline: [0,2) killed, [2,7) killed, [7,17) done.
+	if r.Start != 7 || r.End != 17 {
+		t.Fatalf("final attempt window wrong: %+v", r)
+	}
+	if r.NodeSeconds != 2+5+10 {
+		t.Fatalf("node-seconds %g, want 17", r.NodeSeconds)
+	}
+	if r.Requested != 12 {
+		t.Fatalf("Requested should be the last reservation, got %g", r.Requested)
+	}
+}
+
+func TestPolicyExhaustedKillsTerminally(t *testing.T) {
+	cfg := unitCfg(1, BackfillNone)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 100, Policy: []float64{1, 2}},
+	})
+	r := res[0]
+	if !r.Killed || r.Rejected {
+		t.Fatalf("want terminal kill: %+v", r)
+	}
+	if r.Kills != 2 || r.Attempts != 2 || r.End != 3 {
+		t.Fatalf("kill chain wrong: %+v", r)
+	}
+}
+
+func TestAttemptCostAndRefund(t *testing.T) {
+	model := core.CostModel{Alpha: 1, Beta: 0.5, Gamma: 2}
+	cfg := Config{
+		Nodes:   UnitNodes(1),
+		Tenants: []Tenant{{Name: "t", Budget: math.Inf(1)}},
+		Model:   model,
+	}
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 3, Policy: []float64{4, 8}},
+	})
+	// One attempt, reservation 4, used 3: cost α·4 + β·3 + γ.
+	want := 1*4.0 + 0.5*3.0 + 2
+	if math.Abs(res[0].Cost-want) > 1e-12 {
+		t.Fatalf("cost %g, want %g", res[0].Cost, want)
+	}
+}
+
+func TestBudgetRejection(t *testing.T) {
+	model := core.CostModel{Alpha: 1}
+	cfg := Config{
+		Nodes:   UnitNodes(1),
+		Tenants: []Tenant{{Name: "poor", Budget: 5}},
+		Model:   model,
+	}
+	// First job drains the budget (cost α·5 = 5); second is rejected.
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 5, Policy: []float64{5}},
+		{ID: 1, Arrival: 1, Width: 1, Actual: 1, Policy: []float64{5}},
+	})
+	if res[0].Rejected || !res[1].Rejected {
+		t.Fatalf("want job 1 rejected only: %+v %+v", res[0], res[1])
+	}
+	if res[1].Attempts != 0 || res[1].NodeSeconds != 0 {
+		t.Fatalf("rejected job must not run: %+v", res[1])
+	}
+	s := Summarize(cfg, res)
+	if s.Jobs != 2 || s.Rejected != 1 || s.Completed != 1 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+}
+
+func TestMidChainBudgetRejection(t *testing.T) {
+	// Budget covers the first attempt (cost 2) but not the second
+	// (cost 4): the job is killed, then rejected at resubmission.
+	cfg := Config{
+		Nodes:   UnitNodes(1),
+		Tenants: []Tenant{{Name: "t", Budget: 5}},
+		Model:   core.CostModel{Alpha: 1},
+	}
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 10, Policy: []float64{2, 4}},
+	})
+	r := res[0]
+	if !r.Rejected || !r.Killed {
+		t.Fatalf("want killed-then-rejected: %+v", r)
+	}
+	if r.Attempts != 1 || r.Kills != 1 || r.Cost != 2 {
+		t.Fatalf("accounting wrong: %+v", r)
+	}
+}
+
+func TestQuotaHoldQueue(t *testing.T) {
+	// Quota 1: the second job is held until the first finishes, then
+	// released and run.
+	cfg := Config{
+		Nodes:   UnitNodes(2),
+		Tenants: []Tenant{{Name: "t", Budget: math.Inf(1), Quota: 1}},
+	}
+	var buf TraceBuffer
+	cfg.Recorder = &buf
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 4, Policy: []float64{5}},
+		{ID: 1, Arrival: 1, Width: 1, Actual: 1, Policy: []float64{5}},
+	})
+	if res[1].Start != 4 || res[1].Wait != 3 {
+		t.Fatalf("held job should start when quota frees: %+v", res[1])
+	}
+	releases := 0
+	for _, ev := range buf.Events {
+		if ev.Kind == EvRelease {
+			releases++
+		}
+	}
+	if releases != 1 {
+		t.Fatalf("want exactly one EvRelease, got %d", releases)
+	}
+	if err := CheckTrace(cfg, buf.Events); err != nil {
+		t.Fatalf("trace should be clean: %v", err)
+	}
+}
+
+func TestQuotaUnsatisfiableRejects(t *testing.T) {
+	cfg := Config{
+		Nodes:   []int{4},
+		Tenants: []Tenant{{Name: "t", Budget: math.Inf(1), Quota: 2}},
+	}
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 3, Actual: 1, Policy: []float64{2}},
+	})
+	if !res[0].Rejected {
+		t.Fatalf("width 3 > quota 2 must reject: %+v", res[0])
+	}
+}
+
+func TestEASYBackfillIntoSpareNodes(t *testing.T) {
+	// 4 nodes. Job 0 holds 2 until t=10; job 1 needs 3 and waits
+	// (shadow 10, spare 1). Job 2 is long (cannot end by the shadow)
+	// but fits the spare node, so EASY starts it without delaying
+	// job 1.
+	cfg := unitCfg(4, BackfillEASY)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 2, Actual: 10, Policy: []float64{10}},
+		{ID: 1, Arrival: 1, Width: 3, Actual: 5, Policy: []float64{5}},
+		{ID: 2, Arrival: 2, Width: 1, Actual: 20, Policy: []float64{20}},
+	})
+	if !res[2].Backfilled || res[2].Start != 2 {
+		t.Fatalf("job 2 should backfill into the spare node at t=2: %+v", res[2])
+	}
+	if res[1].Start != 10 {
+		t.Fatalf("the spare-node backfill must not delay job 1: %+v", res[1])
+	}
+}
+
+func TestEASYBackfillIntoFreeNodes(t *testing.T) {
+	// 2 nodes. Job 0 holds one node to t=10; job 1 needs both and
+	// waits; job 2 (width 1, ends by job 1's shadow) backfills at once.
+	cfg := unitCfg(2, BackfillEASY)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 10, Policy: []float64{10}},
+		{ID: 1, Arrival: 1, Width: 2, Actual: 5, Policy: []float64{5}},
+		{ID: 2, Arrival: 2, Width: 1, Actual: 3, Policy: []float64{3}},
+	})
+	if !res[2].Backfilled || res[2].Start != 2 {
+		t.Fatalf("job 2 should backfill immediately: %+v", res[2])
+	}
+	if res[1].Start != 10 {
+		t.Fatalf("job 1 must not be delayed by the backfill: %+v", res[1])
+	}
+}
+
+func TestConservativeNeverDelaysEarlierJobs(t *testing.T) {
+	// Same workload: conservative also backfills job 2 (its
+	// reservation starts now) and job 1 keeps its planned start.
+	cfg := unitCfg(2, BackfillConservative)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 10, Policy: []float64{10}},
+		{ID: 1, Arrival: 1, Width: 2, Actual: 5, Policy: []float64{5}},
+		{ID: 2, Arrival: 2, Width: 1, Actual: 3, Policy: []float64{3}},
+	})
+	if res[1].Start != 10 {
+		t.Fatalf("job 1 delayed: %+v", res[1])
+	}
+	if !res[2].Backfilled || res[2].Start != 2 {
+		t.Fatalf("job 2 should start at 2: %+v", res[2])
+	}
+}
+
+func TestConservativeBlocksUnsafeBackfill(t *testing.T) {
+	// Job 2's reservation (9 from t=2, past job 0's end at 10) would
+	// overlap job 1's planned width-2 start at t=10, so conservative
+	// keeps it queued even though a node is free.
+	cfg := unitCfg(2, BackfillConservative)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 10, Policy: []float64{10}},
+		{ID: 1, Arrival: 1, Width: 2, Actual: 5, Policy: []float64{5}},
+		{ID: 2, Arrival: 2, Width: 1, Actual: 9, Policy: []float64{9}},
+	})
+	if res[2].Start != 15 {
+		t.Fatalf("unsafe backfill: job 2 started %g, want 15 (after job 1)", res[2].Start)
+	}
+}
+
+func TestConservativeProtectsThirdInLine(t *testing.T) {
+	// 2 nodes; job 0 holds both to t=4. Jobs 1 and 2 queue (width 2,
+	// then width 1); job 3 (width 1, long) arrives last. EASY only
+	// protects the head: it backfills nothing here (nothing is free),
+	// but after job 1 starts at t=4, EASY would let job 3 jump job 2
+	// if it fits spare capacity. Conservative reserves for job 2 as
+	// well, keeping FCFS order among equal-width jobs.
+	cfg := unitCfg(2, BackfillConservative)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 2, Actual: 4, Policy: []float64{4}},
+		{ID: 1, Arrival: 1, Width: 2, Actual: 4, Policy: []float64{4}},
+		{ID: 2, Arrival: 2, Width: 1, Actual: 4, Policy: []float64{4}},
+		{ID: 3, Arrival: 3, Width: 1, Actual: 50, Policy: []float64{50}},
+	})
+	if !(res[2].Start < res[3].Start) && !(res[3].Start < res[2].Start) {
+		// Equal starts are fine (both fit at t=8); the real assertion
+		// is that job 3 never starts before job 2.
+		_ = res
+	}
+	if res[3].Start < res[2].Start {
+		t.Fatalf("job 3 (%g) started before job 2 (%g)", res[3].Start, res[2].Start)
+	}
+}
+
+func TestFCFSStartsAreNotPreemptible(t *testing.T) {
+	// Job 1 started in FCFS order (not a backfill), so even with
+	// preemption on, job 2 must wait the full 40: only backfilled
+	// attempts may be evicted.
+	cfg := Config{Nodes: UnitNodes(2), Backfill: BackfillEASY, PreemptAfter: 3}
+	var buf TraceBuffer
+	cfg.Recorder = &buf
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 5, Policy: []float64{5}},
+		{ID: 1, Arrival: 0, Width: 1, Actual: 40, Policy: []float64{40}},
+		{ID: 2, Arrival: 1, Width: 2, Actual: 2, Policy: []float64{2}},
+	})
+	if res[2].Start != 40 {
+		t.Fatalf("unexpected start for job 2: %+v", res[2])
+	}
+	if err := CheckTrace(cfg, buf.Events); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+}
+
+func TestPreemptionEvictsStaleBackfill(t *testing.T) {
+	// EASY only protects the head of the queue: job 2's spare-node
+	// backfill (running to t=102) never delays job 1, but it does
+	// block job 3 (width 4) long after job 1 finished. At j1's finish
+	// (t=15) job 3 has waited 11 > PreemptAfter, so the stale
+	// backfill is evicted, job 3 starts at 15, and job 2 resubmits.
+	cfg := Config{Nodes: UnitNodes(4), Backfill: BackfillEASY, PreemptAfter: 3}
+	var buf TraceBuffer
+	cfg.Recorder = &buf
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 2, Actual: 10, Policy: []float64{10}},
+		{ID: 1, Arrival: 1, Width: 3, Actual: 5, Policy: []float64{5}},
+		{ID: 2, Arrival: 2, Width: 1, Actual: 100, Policy: []float64{100}},
+		{ID: 3, Arrival: 4, Width: 4, Actual: 2, Policy: []float64{2}},
+	})
+	if res[2].Backfilled {
+		// Backfilled reflects the final attempt, which started FCFS.
+		t.Fatalf("job 2's final attempt was FCFS: %+v", res[2])
+	}
+	if res[2].Preempts != 1 || res[2].Attempts != 2 {
+		t.Fatalf("job 2 should be evicted once and resubmitted: %+v", res[2])
+	}
+	if res[3].Start != 15 {
+		t.Fatalf("job 3 should start right after the eviction at t=15: %+v", res[3])
+	}
+	if res[2].Start != 17 {
+		t.Fatalf("job 2 should rerun after job 3: %+v", res[2])
+	}
+	if res[2].Kills != 0 || res[2].Killed {
+		t.Fatalf("preemption is not a kill: %+v", res[2])
+	}
+	if err := CheckTrace(cfg, buf.Events); err != nil {
+		t.Fatalf("trace after preemption: %v", err)
+	}
+	s := Summarize(cfg, res)
+	if s.Preempted != 1 {
+		t.Fatalf("summary Preempted = %d", s.Preempted)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	good := Job{ID: 0, Arrival: 0, Width: 1, Actual: 1, Policy: []float64{2}}
+	cases := []struct {
+		name string
+		cfg  Config
+		jobs []Job
+		want string
+	}{
+		{"no nodes", Config{}, nil, "at least one node"},
+		{"bad capacity", Config{Nodes: []int{0}}, nil, "capacity"},
+		{"bad model", Config{Nodes: []int{1}, Model: core.CostModel{Alpha: -1}}, nil, "cost model"},
+		{"bad budget", Config{Nodes: []int{1}, Tenants: []Tenant{{Budget: -2}}}, nil, "budget"},
+		{"preempt+conservative", Config{Nodes: []int{1}, Backfill: BackfillConservative, PreemptAfter: 1}, nil, "incompatible"},
+		{"bad tenant", Config{Nodes: []int{1}}, []Job{{Tenant: 3, Width: 1, Actual: 1, Policy: []float64{1}}}, "tenant"},
+		{"wide job", Config{Nodes: []int{2}}, []Job{{Width: 3, Actual: 1, Policy: []float64{1}}}, "width"},
+		{"empty policy", Config{Nodes: []int{1}}, []Job{{Width: 1, Actual: 1}}, "policy"},
+		{"non-increasing policy", Config{Nodes: []int{1}}, []Job{{Width: 1, Actual: 1, Policy: []float64{2, 2}}}, "strictly increasing"},
+		{"bad arrival", Config{Nodes: []int{1}}, []Job{{Width: 1, Arrival: math.NaN(), Actual: 1, Policy: []float64{1}}}, "arrival"},
+		{"bad runtime", Config{Nodes: []int{1}}, []Job{{Width: 1, Actual: math.Inf(1), Policy: []float64{1}}}, "runtime"},
+	}
+	for _, tc := range cases {
+		jobs := tc.jobs
+		if jobs == nil {
+			jobs = []Job{good}
+		}
+		_, err := Simulate(tc.cfg, jobs)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSummarizePercentilesAndMeans(t *testing.T) {
+	cfg := unitCfg(1, BackfillNone)
+	res := mustSimulate(t, cfg, []Job{
+		{ID: 0, Arrival: 0, Width: 1, Actual: 2, Policy: []float64{2}},
+		{ID: 1, Arrival: 0, Width: 1, Actual: 2, Policy: []float64{2}},
+		{ID: 2, Arrival: 0, Width: 1, Actual: 2, Policy: []float64{2}},
+	})
+	s := Summarize(cfg, res)
+	// Waits are 0, 2, 4 in some order.
+	if s.WaitP50 != 2 || s.WaitP99 != 4 {
+		t.Fatalf("percentiles wrong: %+v", s)
+	}
+	if math.Abs(s.MeanWait-2) > 1e-12 || s.MeanAttempts != 1 {
+		t.Fatalf("means wrong: %+v", s)
+	}
+	if math.Abs(s.Utilization-1) > 1e-12 {
+		t.Fatalf("back-to-back unit jobs should give utilization 1: %g", s.Utilization)
+	}
+}
+
+func TestWaitProfileFromClusterResults(t *testing.T) {
+	cfg := unitCfg(1, BackfillNone)
+	var jobs []Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, Job{
+			ID: i, Arrival: float64(i), Width: 1, Actual: 1,
+			Policy: []float64{1 + float64(i%4)},
+		})
+	}
+	res := mustSimulate(t, cfg, jobs)
+	groups, err := WaitProfile(res, 4)
+	if err != nil {
+		t.Fatalf("WaitProfile: %v", err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("want 4 groups, got %d", len(groups))
+	}
+	for i := 1; i < len(groups); i++ {
+		if groups[i].RequestedSec < groups[i-1].RequestedSec {
+			t.Fatalf("groups not sorted by requested: %+v", groups)
+		}
+	}
+}
+
+func TestMultiRecorder(t *testing.T) {
+	if MultiRecorder() != nil || MultiRecorder(nil, nil) != nil {
+		t.Fatal("empty MultiRecorder should be nil")
+	}
+	var a, b TraceBuffer
+	if MultiRecorder(&a, nil) != Recorder(&a) {
+		t.Fatal("single recorder should pass through")
+	}
+	m := MultiRecorder(&a, &b)
+	m.Record(Event{Seq: 1})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatalf("fan-out failed: %d %d", len(a.Events), len(b.Events))
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvArrive, EvAdmit, EvReject, EvRelease, EvStart, EvAlloc, EvFree, EvFinish, EvKill, EvPreempt}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind should be unknown")
+	}
+	for _, b := range []BackfillPolicy{BackfillNone, BackfillEASY, BackfillConservative} {
+		if b.String() == "unknown" {
+			t.Fatalf("policy %d unnamed", b)
+		}
+	}
+	if BackfillPolicy(9).String() != "unknown" {
+		t.Fatal("out-of-range policy should be unknown")
+	}
+}
+
+func TestHeapOrderingAndRemove(t *testing.T) {
+	h := newEventHeap(10)
+	in := []finishEvent{
+		{time: 5, seq: 1, job: 0},
+		{time: 3, seq: 2, job: 1},
+		{time: 5, seq: 0, job: 2},
+		{time: 1, seq: 3, job: 3},
+		{time: 3, seq: 1, job: 4},
+	}
+	for _, e := range in {
+		h.push(e)
+	}
+	h.remove(4)
+	want := []int32{3, 1, 2, 0} // (1,3) (3,2) (5,0) (5,1)
+	for i, w := range want {
+		got := h.pop()
+		if got.job != w {
+			t.Fatalf("pop %d: job %d, want %d", i, got.job, w)
+		}
+	}
+	if h.size() != 0 {
+		t.Fatalf("heap not empty")
+	}
+}
+
+func TestHeapGrowth(t *testing.T) {
+	h := newEventHeap(1000)
+	for i := 0; i < 1000; i++ {
+		h.push(finishEvent{time: float64(1000 - i), seq: uint64(i), job: int32(i)})
+	}
+	prev := math.Inf(-1)
+	for h.size() > 0 {
+		e := h.pop()
+		if e.time < prev {
+			t.Fatalf("heap order violated: %g after %g", e.time, prev)
+		}
+		prev = e.time
+	}
+}
+
+func TestNodePoolSpansNodes(t *testing.T) {
+	p := newNodePool([]int{2, 3})
+	head := p.alloc(4) // node 0 entirely + 2 units of node 1
+	got := map[int32]int32{}
+	for e := head; e >= 0; e = p.arena[e].next {
+		got[p.arena[e].node] += p.arena[e].amt
+	}
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("allocation split wrong: %v", got)
+	}
+	p.release(head)
+	if p.free[0] != 2 || p.free[1] != 3 {
+		t.Fatalf("release did not restore capacity: %v", p.free)
+	}
+}
+
+func TestLedgerBasics(t *testing.T) {
+	l := NewLedger(core.CostModel{Alpha: 1, Beta: 1, Gamma: 1}, []Tenant{
+		{Budget: 10, Quota: 2},
+		{Budget: math.Inf(1)},
+	})
+	need, ok := l.Reserve(0, 4) // 4+4+1 = 9
+	if !ok || need != 9 || l.Balance(0) != 1 {
+		t.Fatalf("reserve: need %g ok %v balance %g", need, ok, l.Balance(0))
+	}
+	if _, ok := l.Reserve(0, 4); ok {
+		t.Fatal("second reserve should fail")
+	}
+	l.Refund(0, 4)
+	if l.Balance(0) != 5 {
+		t.Fatalf("refund: %g", l.Balance(0))
+	}
+	if !l.Commit(0, 2) || l.Commit(0, 1) {
+		t.Fatalf("quota accounting wrong: committed %d", l.Committed(0))
+	}
+	l.Release(0, 2)
+	if l.Committed(0) != 0 {
+		t.Fatalf("release: %d", l.Committed(0))
+	}
+	if !l.Commit(1, 1<<20) {
+		t.Fatal("unlimited quota refused")
+	}
+	if l.AttemptCost(4) != 9 {
+		t.Fatalf("AttemptCost: %g", l.AttemptCost(4))
+	}
+}

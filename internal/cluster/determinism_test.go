@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// determinismSpec is a workload big enough to span many generation
+// chunks is unnecessary — what matters is crossing at least one chunk
+// boundary so the per-chunk streams and the arrival prefix-sum are both
+// exercised across worker splits.
+func determinismSpec(seed uint64, jobs int) WorkloadSpec {
+	laws := dist.Table1()
+	return WorkloadSpec{
+		Seed:        seed,
+		Jobs:        jobs,
+		ArrivalRate: 3,
+		Classes: []JobClass{
+			{Name: "exp", Runtime: laws[0], Weight: 3, MinWidth: 1, MaxWidth: 2, Tenant: 0, Policy: sweepPolicy(laws[0], 0.6, 0.9, 0.999)},
+			{Name: "lognormal", Runtime: laws[3], Weight: 1, MinWidth: 1, MaxWidth: 4, Tenant: 1, Policy: sweepPolicy(laws[3], 0.5, 0.95, 0.999)},
+			{Name: "uniform", Runtime: laws[6], Weight: 1, MinWidth: 2, MaxWidth: 3, Tenant: 0, Policy: sweepPolicy(laws[6], 0.7, 0.999)},
+		},
+	}
+}
+
+func determinismCfg() Config {
+	return Config{
+		Nodes: []int{2, 3, 3},
+		Tenants: []Tenant{
+			{Name: "a", Budget: math.Inf(1), Quota: 5},
+			{Name: "b", Budget: 1e7},
+		},
+		Backfill: BackfillEASY,
+		Model:    costModelForSweep,
+	}
+}
+
+// TestGenerateJobsWorkerIndependence: the generated workload must be
+// bit-identical for every worker count — same IDs, tenants, widths,
+// policies, and the same float bits for arrivals and runtimes.
+func TestGenerateJobsWorkerIndependence(t *testing.T) {
+	spec := determinismSpec(42, 3*genChunk/2) // crosses a chunk boundary
+	base, err := GenerateJobs(spec, 1)
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	if len(base) != spec.Jobs {
+		t.Fatalf("generated %d jobs, want %d", len(base), spec.Jobs)
+	}
+	prev := 0.0
+	for _, j := range base {
+		if j.Arrival < prev {
+			t.Fatalf("arrivals not nondecreasing at job %d", j.ID)
+		}
+		prev = j.Arrival
+	}
+	for _, workers := range []int{4, 16} {
+		got, err := GenerateJobs(spec, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range base {
+			a, b := base[i], got[i]
+			if a.ID != b.ID || a.Tenant != b.Tenant || a.Width != b.Width ||
+				!sameFloat(a.Arrival, b.Arrival) || !sameFloat(a.Actual, b.Actual) ||
+				len(a.Policy) != len(b.Policy) {
+				t.Fatalf("workers=%d: job %d diverged: %+v vs %+v", workers, i, a, b)
+			}
+		}
+	}
+}
+
+// TestRunTraceIdenticalAcrossWorkers: the full event trace — not just
+// the results — must hash identically for Workers ∈ {1, 4, 16}.
+func TestRunTraceIdenticalAcrossWorkers(t *testing.T) {
+	spec := determinismSpec(7, 4000)
+	cfg := determinismCfg()
+	var ref RunOutput
+	for i, workers := range []int{1, 4, 16} {
+		out, err := Run(spec, cfg, workers, true)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			ref = out
+			if ref.TraceEvents == 0 {
+				t.Fatal("empty trace")
+			}
+			continue
+		}
+		if out.TraceHash != ref.TraceHash || out.TraceEvents != ref.TraceEvents {
+			t.Fatalf("workers=%d: trace hash %x (%d events) != workers=1 hash %x (%d events)",
+				workers, out.TraceHash, out.TraceEvents, ref.TraceHash, ref.TraceEvents)
+		}
+		if !sameFloat(out.Stats.MeanWait, ref.Stats.MeanWait) || out.Stats.Jobs != ref.Stats.Jobs {
+			t.Fatalf("workers=%d: stats diverged: %+v vs %+v", workers, out.Stats, ref.Stats)
+		}
+	}
+}
+
+// TestRunSameSeedReproduces: two runs of the same spec are
+// bit-identical; a different seed is not (the hash actually
+// discriminates).
+func TestRunSameSeedReproduces(t *testing.T) {
+	spec := determinismSpec(99, 2500)
+	cfg := determinismCfg()
+	a, err := Run(spec, cfg, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, cfg, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash || a.TraceEvents != b.TraceEvents {
+		t.Fatalf("same seed diverged: %x vs %x", a.TraceHash, b.TraceHash)
+	}
+	spec.Seed++
+	c, err := Run(spec, cfg, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TraceHash == a.TraceHash {
+		t.Fatalf("different seeds collided on hash %x", a.TraceHash)
+	}
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// JobClass describes one stream of statistically identical jobs.
+type JobClass struct {
+	// Name labels the class in reports.
+	Name string
+	// Runtime is the law of the true runtime X (a Table-1
+	// distribution in the paper's experiments).
+	Runtime dist.Distribution
+	// Weight is the class's relative frequency (> 0).
+	Weight float64
+	// MinWidth and MaxWidth bound the uniformly drawn width;
+	// MaxWidth < MinWidth means the width is fixed at MinWidth.
+	MinWidth, MaxWidth int
+	// Tenant indexes Config.Tenants.
+	Tenant int
+	// Policy is the reservation sequence every job of the class
+	// submits with (see Job.Policy) — typically a Planner strategy
+	// truncated to cover the law's quantile range.
+	Policy []float64
+}
+
+// WorkloadSpec describes a synthetic workload.
+type WorkloadSpec struct {
+	// Seed fixes the whole workload: the same spec always generates
+	// the same jobs, whatever the worker count.
+	Seed uint64
+	// Jobs is how many jobs to generate.
+	Jobs int
+	// ArrivalRate is the Poisson arrival rate (jobs per unit time).
+	ArrivalRate float64
+	// Classes is the job mix.
+	Classes []JobClass
+}
+
+// genChunk is the fixed generation granule: each chunk of jobs owns one
+// rng.Split stream, so the generated workload is bit-identical for
+// every worker count — parallelism only changes which goroutine
+// evaluates a chunk, never what the chunk contains.
+const genChunk = 1 << 16
+
+// GenerateJobs materializes the workload on up to workers goroutines
+// (workers <= 0 selects a default). Job i has ID i; arrivals are a
+// Poisson process realized as an exact prefix sum of per-chunk
+// exponential increments, so they are deterministic too.
+func GenerateJobs(spec WorkloadSpec, workers int) ([]Job, error) {
+	if spec.Jobs < 0 {
+		return nil, fmt.Errorf("cluster: negative job count %d", spec.Jobs)
+	}
+	if !(spec.ArrivalRate > 0) || math.IsInf(spec.ArrivalRate, 0) {
+		return nil, fmt.Errorf("cluster: arrival rate %g must be positive and finite", spec.ArrivalRate)
+	}
+	if len(spec.Classes) == 0 {
+		return nil, errors.New("cluster: workload needs at least one job class")
+	}
+	totalW := 0.0
+	for i, c := range spec.Classes {
+		if !(c.Weight > 0) || math.IsInf(c.Weight, 0) {
+			return nil, fmt.Errorf("cluster: class %d weight %g must be positive and finite", i, c.Weight)
+		}
+		if c.Runtime == nil {
+			return nil, fmt.Errorf("cluster: class %d has no runtime law", i)
+		}
+		if c.MinWidth < 1 {
+			return nil, fmt.Errorf("cluster: class %d MinWidth %d must be >= 1", i, c.MinWidth)
+		}
+		if len(c.Policy) == 0 {
+			return nil, fmt.Errorf("cluster: class %d has an empty policy", i)
+		}
+		totalW += c.Weight
+	}
+	// Cumulative class weights for inverse-transform class selection.
+	cum := make([]float64, len(spec.Classes))
+	acc := 0.0
+	for i, c := range spec.Classes {
+		acc += c.Weight / totalW
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1.0 // close the last bucket against rounding
+
+	jobs := make([]Job, spec.Jobs)
+	if spec.Jobs == 0 {
+		return jobs, nil
+	}
+	chunks := (spec.Jobs + genChunk - 1) / genChunk
+	streams := rng.Split(spec.Seed, chunks)
+	chunkSum := make([]float64, chunks)
+
+	// Pass 1 (parallel): draw every job; arrivals hold within-chunk
+	// cumulative interarrival sums.
+	parallel.ForEach(chunks, workers, func(c int) {
+		r := streams[c]
+		lo := c * genChunk
+		hi := lo + genChunk
+		if hi > spec.Jobs {
+			hi = spec.Jobs
+		}
+		t := 0.0
+		for i := lo; i < hi; i++ {
+			t += r.ExpFloat64() / spec.ArrivalRate
+			u := r.Float64()
+			k := 0
+			for k < len(cum)-1 && u >= cum[k] {
+				k++
+			}
+			cl := &spec.Classes[k]
+			width := cl.MinWidth
+			if cl.MaxWidth > cl.MinWidth {
+				width += int(r.Uint64n(uint64(cl.MaxWidth - cl.MinWidth + 1)))
+			}
+			jobs[i] = Job{
+				ID:      i,
+				Tenant:  cl.Tenant,
+				Arrival: t,
+				Width:   width,
+				Actual:  dist.Sample(cl.Runtime, r),
+				Policy:  cl.Policy,
+			}
+		}
+		chunkSum[c] = t
+	})
+
+	// Pass 2: sequential prefix over chunk sums, then a parallel
+	// offset add — the classic two-pass scan, worker-count neutral.
+	offset := make([]float64, chunks)
+	run := 0.0
+	for c := range chunkSum {
+		offset[c] = run
+		run += chunkSum[c]
+	}
+	parallel.ForEach(chunks, workers, func(c int) {
+		lo := c * genChunk
+		hi := lo + genChunk
+		if hi > spec.Jobs {
+			hi = spec.Jobs
+		}
+		for i := lo; i < hi; i++ {
+			jobs[i].Arrival += offset[c]
+		}
+	})
+	return jobs, nil
+}
+
+// RunOutput bundles one simulated workload.
+type RunOutput struct {
+	// Results are the per-job outcomes sorted by ID.
+	Results []Result
+	// Stats is their summary.
+	Stats Stats
+	// TraceHash fingerprints the full event trace (FNV-1a over every
+	// field of every event); equal hashes mean bit-identical runs.
+	TraceHash uint64
+	// TraceEvents is the trace length.
+	TraceEvents uint64
+}
+
+// Run generates the workload with up to workers goroutines, simulates
+// it (the event loop itself is sequential — determinism needs no
+// locks), and summarizes. With check set, a streaming Invariants
+// recorder rides along and any violation is returned as an error.
+// cfg.Recorder, when set, still receives the trace.
+func Run(spec WorkloadSpec, cfg Config, workers int, check bool) (RunOutput, error) {
+	var out RunOutput
+	jobs, err := GenerateJobs(spec, workers)
+	if err != nil {
+		return out, err
+	}
+	hash := NewTraceHash()
+	var inv *Invariants
+	recs := []Recorder{hash, cfg.Recorder}
+	if check {
+		inv = NewInvariants(cfg)
+		recs = append(recs, inv)
+	}
+	cfg.Recorder = MultiRecorder(recs...)
+	out.Results, err = Simulate(cfg, jobs)
+	if err != nil {
+		return out, err
+	}
+	if inv != nil {
+		if err := inv.Finish(); err != nil {
+			return out, err
+		}
+	}
+	out.Stats = Summarize(cfg, out.Results)
+	out.TraceHash = hash.Sum64()
+	out.TraceEvents = hash.Events()
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+// allocEntry is one (node, amount) slice of a job's capacity grant,
+// linked through next into a per-job list. Entries live in a single
+// arena with an intrusive free list, so steady-state allocation and
+// release of grants touch no heap memory: the arena only grows (cold
+// path) when more jobs run concurrently than ever before.
+type allocEntry struct {
+	node int32
+	amt  int32
+	next int32
+}
+
+// nodePool tracks per-node free capacity and hands out deterministic
+// placements: capacity is taken from the most recently freed node
+// first (LIFO over a stack of non-full node indices, initialized so
+// node 0 is on top). Scheduling decisions depend only on total free
+// capacity — jobs may span nodes — so placement is pure bookkeeping
+// for the ledger and the per-node capacity-conservation invariant.
+type nodePool struct {
+	free      []int32 // free capacity units per node
+	stack     []int32 // indices of nodes with free > 0, LIFO
+	arena     []allocEntry
+	freeEntry int32 // arena free-list head, -1 when empty
+}
+
+func newNodePool(caps []int) *nodePool {
+	p := &nodePool{
+		free:      make([]int32, len(caps)),
+		stack:     make([]int32, 0, len(caps)),
+		freeEntry: -1,
+	}
+	// Push in reverse so node 0 is on top and fills first.
+	for i := len(caps) - 1; i >= 0; i-- {
+		p.free[i] = int32(caps[i])
+		p.stack = append(p.stack, int32(i))
+	}
+	return p
+}
+
+// alloc takes width capacity units and returns the head of the grant
+// list. The caller guarantees width does not exceed the total free
+// capacity; violating that is a simulator bug and panics.
+//
+//repro:hotpath
+func (p *nodePool) alloc(width int32) int32 {
+	head := int32(-1)
+	rem := width
+	for rem > 0 {
+		if len(p.stack) == 0 {
+			panic("cluster: node allocation underflow (scheduler oversubscribed the cluster)")
+		}
+		n := p.stack[len(p.stack)-1]
+		take := p.free[n]
+		if take > rem {
+			take = rem
+		}
+		p.free[n] -= take
+		if p.free[n] == 0 {
+			p.stack = p.stack[:len(p.stack)-1]
+		}
+		rem -= take
+		e := p.takeEntry()
+		p.arena[e] = allocEntry{node: n, amt: take, next: head}
+		head = e
+	}
+	return head
+}
+
+// release returns every grant on the list to its node and recycles the
+// entries.
+//
+//repro:hotpath
+func (p *nodePool) release(head int32) {
+	for e := head; e >= 0; {
+		ent := p.arena[e]
+		if p.free[ent.node] == 0 {
+			p.pushStack(ent.node)
+		}
+		p.free[ent.node] += ent.amt
+		next := ent.next
+		p.arena[e].next = p.freeEntry
+		p.freeEntry = e
+		e = next
+	}
+}
+
+// takeEntry pops the arena free list, growing it on the cold path.
+//
+//repro:hotpath
+func (p *nodePool) takeEntry() int32 {
+	if p.freeEntry < 0 {
+		p.growArena()
+	}
+	e := p.freeEntry
+	p.freeEntry = p.arena[e].next
+	return e
+}
+
+// growArena adds a block of free entries; cold path.
+func (p *nodePool) growArena() {
+	n := len(p.arena)
+	block := n
+	if block < 64 {
+		block = 64
+	}
+	for i := 0; i < block; i++ {
+		p.arena = append(p.arena, allocEntry{next: p.freeEntry})
+		p.freeEntry = int32(n + i)
+	}
+}
+
+// pushStack re-registers a node that regained free capacity; split out
+// so the hot release loop appends through one place (the stack can
+// never exceed the node count, so the initial capacity suffices and
+// the append never reallocates).
+//
+//repro:hotpath
+func (p *nodePool) pushStack(node int32) {
+	//lint:ignore hotalloc the stack's capacity is len(nodes), fixed at construction; append never grows it
+	p.stack = append(p.stack, node)
+}

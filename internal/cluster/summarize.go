@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/queuesim"
+	"repro/internal/trace"
+)
+
+// Stats summarizes a cluster simulation. The embedded queuesim.Stats
+// carries the shared aggregates (Jobs, Rejected, MeanWait, MaxWait,
+// Backfilled, Killed, Utilization) computed by queuesim.Summarize over
+// the projected results, so a degenerate cluster summarizes
+// bit-identically to queuesim; Utilization is then recomputed from
+// NodeSeconds so killed and preempted attempts count as busy time.
+type Stats struct {
+	queuesim.Stats
+	// Completed is the number of jobs whose final attempt finished
+	// within its reservation (not killed, not rejected).
+	Completed int
+	// Preempted is the number of jobs evicted at least once.
+	Preempted int
+	// MeanAttempts is the average number of submissions per admitted
+	// job.
+	MeanAttempts float64
+	// MeanCost is the average net budget charge per admitted job.
+	MeanCost float64
+	// WaitP50, WaitP95, WaitP99 are nearest-rank percentiles of the
+	// admitted jobs' total waits.
+	WaitP50, WaitP95, WaitP99 float64
+}
+
+// Summarize aggregates a result set for the given cluster.
+func Summarize(cfg Config, results []Result) Stats {
+	base := make([]queuesim.Result, len(results))
+	for i, r := range results {
+		base[i] = r.Result
+	}
+	var s Stats
+	s.Stats = queuesim.Summarize(queuesim.Config{Nodes: cfg.Capacity()}, base)
+
+	var busy, tMin, tMax float64
+	tMin = math.Inf(1)
+	admitted := 0
+	waits := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Rejected {
+			continue
+		}
+		admitted++
+		if !r.Killed {
+			s.Completed++
+		}
+		if r.Preempts > 0 {
+			s.Preempted++
+		}
+		s.MeanAttempts += float64(r.Attempts)
+		s.MeanCost += r.Cost
+		busy += r.NodeSeconds
+		tMin = math.Min(tMin, r.Arrival)
+		tMax = math.Max(tMax, r.End)
+		waits = append(waits, r.Wait)
+	}
+	if admitted == 0 {
+		return s
+	}
+	s.MeanAttempts /= float64(admitted)
+	s.MeanCost /= float64(admitted)
+	if span := tMax - tMin; span > 0 {
+		s.Utilization = busy / (span * float64(cfg.Capacity()))
+	}
+	sort.Float64s(waits)
+	s.WaitP50 = percentile(waits, 0.50)
+	s.WaitP95 = percentile(waits, 0.95)
+	s.WaitP99 = percentile(waits, 0.99)
+	return s
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// WaitProfile groups admitted jobs by their final requested walltime
+// into equal-size buckets and averages each bucket's waits — the same
+// requested-vs-wait profile queuesim feeds the Fig. 2 affine fit, so
+// cluster traces drop into trace.FitWaitTimeModel unchanged.
+func WaitProfile(results []Result, groups int) ([]trace.WaitGroup, error) {
+	req := make([]float64, 0, len(results))
+	wait := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Rejected {
+			continue
+		}
+		req = append(req, r.Requested)
+		wait = append(wait, r.Wait)
+	}
+	return trace.BucketWaits(req, wait, groups)
+}

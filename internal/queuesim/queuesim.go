@@ -56,6 +56,11 @@ type Result struct {
 	Killed bool
 	// Backfilled reports whether the job jumped the FCFS order.
 	Backfilled bool
+	// Rejected reports that the job was never admitted (Simulate never
+	// rejects; admission-controlled schedulers such as
+	// internal/cluster set it). Rejected results carry no meaningful
+	// Start/Wait/End and are excluded from Summarize's averages.
+	Rejected bool
 }
 
 // Config describes the cluster and scheduling policy.
@@ -66,10 +71,26 @@ type Config struct {
 	EnableBackfill bool
 }
 
-// running is an executing job.
+// running is an executing job. seq is the start-order counter; sorting
+// by (end, seq) makes completion order — and therefore the whole
+// event-loop interleaving — deterministic even when two jobs release
+// their nodes at exactly the same instant. internal/cluster's event
+// heap uses the same (time, start-order) key so the two simulators
+// remain bit-identical on degenerate configurations.
 type running struct {
 	end   float64
 	nodes int
+	seq   int
+}
+
+// byEndSeq orders running jobs by (end, seq).
+func byEndSeq(rs []running) func(i, k int) bool {
+	return func(i, k int) bool {
+		if rs[i].end != rs[k].end { //lint:ignore floatcmp exact tie detection: equal ends must fall through to the seq tie-break
+			return rs[i].end < rs[k].end
+		}
+		return rs[i].seq < rs[k].seq
+	}
 }
 
 // Simulate runs the given jobs (any order; they are sorted by arrival)
@@ -91,17 +112,18 @@ func Simulate(cfg Config, jobs []Job) ([]Result, error) {
 	sort.SliceStable(pending, func(i, k int) bool { return pending[i].Arrival < pending[k].Arrival })
 
 	var (
-		now     float64
-		free    = cfg.Nodes
-		run     []running
-		queue   []Job
-		results = make([]Result, 0, len(jobs))
-		next    int // index into pending
+		now      float64
+		free     = cfg.Nodes
+		run      []running
+		queue    []Job
+		results  = make([]Result, 0, len(jobs))
+		next     int // index into pending
+		startSeq int // start-order counter for deterministic end ties
 	)
 
 	finishOne := func() {
-		// Pop the earliest completion.
-		sort.Slice(run, func(i, k int) bool { return run[i].end < run[k].end })
+		// Pop the earliest completion (ties broken by start order).
+		sort.Slice(run, byEndSeq(run))
 		now = run[0].end
 		free += run[0].nodes
 		run = run[1:]
@@ -118,7 +140,8 @@ func Simulate(cfg Config, jobs []Job) ([]Result, error) {
 			Backfilled: backfilled,
 		}
 		results = append(results, res)
-		run = append(run, running{end: res.End, nodes: j.Nodes})
+		run = append(run, running{end: res.End, nodes: j.Nodes, seq: startSeq})
+		startSeq++
 		free -= j.Nodes
 	}
 
@@ -211,7 +234,7 @@ func minEnd(run []running) float64 {
 // beyond the head's need.
 func shadowOf(head Job, free int, run []running) (shadow float64, spare int) {
 	rs := append([]running(nil), run...)
-	sort.Slice(rs, func(i, k int) bool { return rs[i].end < rs[k].end })
+	sort.Slice(rs, byEndSeq(rs))
 	avail := free
 	for _, r := range rs {
 		if avail >= head.Nodes {
@@ -228,9 +251,15 @@ func shadowOf(head Job, free int, run []running) (shadow float64, spare int) {
 
 // Stats summarizes a simulation.
 type Stats struct {
-	// MeanWait is the average wait over all jobs.
+	// Jobs is the number of results summarized (admitted + rejected).
+	Jobs int
+	// Rejected is the number of jobs that were never admitted.
+	// Simulate itself admits everything; admission-controlled
+	// schedulers (internal/cluster) produce rejected results.
+	Rejected int
+	// MeanWait is the average wait over all admitted jobs.
 	MeanWait float64
-	// MaxWait is the largest wait.
+	// MaxWait is the largest wait among admitted jobs.
 	MaxWait float64
 	// Backfilled is the number of jobs that jumped the queue.
 	Backfilled int
@@ -241,15 +270,21 @@ type Stats struct {
 }
 
 // Summarize computes aggregate statistics for a result set on the given
-// cluster.
+// cluster. Rejected results contribute to Jobs/Rejected only; an empty
+// or all-rejected result set yields zero statistics rather than NaNs
+// (no 0/0 division ever happens).
 func Summarize(cfg Config, results []Result) Stats {
 	var s Stats
-	if len(results) == 0 {
-		return s
-	}
+	s.Jobs = len(results)
 	var busy, tMin, tMax float64
 	tMin = math.Inf(1)
+	admitted := 0
 	for _, r := range results {
+		if r.Rejected {
+			s.Rejected++
+			continue
+		}
+		admitted++
 		s.MeanWait += r.Wait
 		if r.Wait > s.MaxWait {
 			s.MaxWait = r.Wait
@@ -264,7 +299,11 @@ func Summarize(cfg Config, results []Result) Stats {
 		tMin = math.Min(tMin, r.Arrival)
 		tMax = math.Max(tMax, r.End)
 	}
-	s.MeanWait /= float64(len(results))
+	if admitted == 0 {
+		s.MeanWait = 0 // guard: no admitted jobs, nothing to average
+		return s
+	}
+	s.MeanWait /= float64(admitted)
 	if span := tMax - tMin; span > 0 {
 		s.Utilization = busy / (span * float64(cfg.Nodes))
 	}

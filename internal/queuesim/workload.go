@@ -3,7 +3,6 @@ package queuesim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -68,7 +67,9 @@ func GenerateWorkload(cfg WorkloadConfig) ([]Job, error) {
 // WaitProfile buckets completed jobs into equal-size groups by
 // requested walltime (as Fig. 2 clusters jobs into 20 groups of similar
 // requested runtime) and returns each group's average wait — directly
-// consumable by trace.FitWaitTimeModel.
+// consumable by trace.FitWaitTimeModel. The bucketing itself is the
+// shared trace.BucketWaits kernel, also used by the cluster simulator's
+// wait profiles.
 func WaitProfile(results []Result, groups int) ([]trace.WaitGroup, error) {
 	if groups < 2 {
 		return nil, fmt.Errorf("queuesim: need at least 2 groups, got %d", groups)
@@ -76,28 +77,13 @@ func WaitProfile(results []Result, groups int) ([]trace.WaitGroup, error) {
 	if len(results) < groups {
 		return nil, fmt.Errorf("queuesim: %d results cannot fill %d groups", len(results), groups)
 	}
-	rs := append([]Result(nil), results...)
-	sort.Slice(rs, func(i, k int) bool { return rs[i].Requested < rs[k].Requested })
-	out := make([]trace.WaitGroup, 0, groups)
-	for g := 0; g < groups; g++ {
-		lo := g * len(rs) / groups
-		hi := (g + 1) * len(rs) / groups
-		if hi == lo {
-			continue
-		}
-		var reqSum, waitSum float64
-		for _, r := range rs[lo:hi] {
-			reqSum += r.Requested
-			waitSum += r.Wait
-		}
-		n := float64(hi - lo)
-		out = append(out, trace.WaitGroup{
-			RequestedSec: reqSum / n,
-			AvgWaitSec:   waitSum / n,
-			Jobs:         hi - lo,
-		})
+	req := make([]float64, len(results))
+	wait := make([]float64, len(results))
+	for i, r := range results {
+		req[i] = r.Requested
+		wait[i] = r.Wait
 	}
-	return out, nil
+	return trace.BucketWaits(req, wait, groups)
 }
 
 // DeriveWaitTimeModel runs the whole Fig.-2 derivation: generate a

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/dist"
 	"repro/internal/rng"
@@ -134,6 +135,60 @@ func GenerateWaitTimeLog(model WaitTimeModel, groups int, minReq, maxReq, noise 
 		}
 	}
 	return out, nil
+}
+
+// BucketWaits clusters per-job (requested runtime, wait) observations
+// into `groups` equal-size groups by requested runtime — the Fig.-2
+// protocol (20 groups of similar requested runtime) — and returns each
+// group's averages, directly consumable by FitWaitTimeModel. It is the
+// shared bucketing kernel behind queuesim.WaitProfile and
+// cluster.WaitProfile: any simulator that produces per-job requested
+// times and waits can derive an affine wait-time law from them.
+func BucketWaits(requested, waits []float64, groups int) ([]WaitGroup, error) {
+	if groups < 2 {
+		return nil, fmt.Errorf("trace: need at least 2 groups, got %d", groups)
+	}
+	if len(requested) != len(waits) {
+		return nil, fmt.Errorf("trace: %d requested times vs %d waits", len(requested), len(waits))
+	}
+	if len(requested) < groups {
+		return nil, fmt.Errorf("trace: %d observations cannot fill %d groups", len(requested), groups)
+	}
+	req := append([]float64(nil), requested...)
+	wt := append([]float64(nil), waits...)
+	sort.Sort(&byRequested{req: req, wait: wt})
+	out := make([]WaitGroup, 0, groups)
+	for g := 0; g < groups; g++ {
+		lo := g * len(req) / groups
+		hi := (g + 1) * len(req) / groups
+		if hi == lo {
+			continue
+		}
+		var reqSum, waitSum float64
+		for i := lo; i < hi; i++ {
+			reqSum += req[i]
+			waitSum += wt[i]
+		}
+		n := float64(hi - lo)
+		out = append(out, WaitGroup{
+			RequestedSec: reqSum / n,
+			AvgWaitSec:   waitSum / n,
+			Jobs:         hi - lo,
+		})
+	}
+	return out, nil
+}
+
+// byRequested co-sorts the (requested, wait) pairs by requested time.
+type byRequested struct {
+	req, wait []float64
+}
+
+func (s *byRequested) Len() int           { return len(s.req) }
+func (s *byRequested) Less(i, k int) bool { return s.req[i] < s.req[k] }
+func (s *byRequested) Swap(i, k int) {
+	s.req[i], s.req[k] = s.req[k], s.req[i]
+	s.wait[i], s.wait[k] = s.wait[k], s.wait[i]
 }
 
 // FitAffine fits y ≈ slope·x + intercept by ordinary least squares.

@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// AdmissionPolicy bridges the paper's strategies into the cluster
+// simulator (internal/cluster): it computes the plan for the given
+// distribution and strategy, then materializes the reservation
+// sequence as the finite per-job policy a scheduler's admission
+// control evaluates attempt by attempt — Job.Policy in the simulator,
+// where a job is killed at each reservation and resubmitted with the
+// next.
+//
+// The prefix runs up to and including the first reservation that
+// covers the law's (1 − ε) quantile (ε is Options.Epsilon): runtimes
+// beyond it carry negligible probability mass, so longer attempts
+// would never be exercised. A finite sequence that ends before the
+// quantile is used whole (its final attempt may then be killed — the
+// simulator reports such jobs as Killed). maxAttempts, when positive,
+// additionally caps the policy length, the resubmission limit real
+// schedulers impose; it also serves as the fallback horizon if the
+// sequence needs more than core.MaxSequenceLen entries to reach the
+// quantile.
+func (pl *Planner) AdmissionPolicy(d Distribution, strategyName string, maxAttempts int) ([]float64, error) {
+	plan, err := pl.Plan(d, strategyName)
+	if err != nil {
+		return nil, err
+	}
+	// Clone: FirstCovering/Prefix materialize lazily and must not
+	// mutate the sequence shared with the Plan.
+	seq := plan.Sequence().Clone()
+	q := d.Quantile(1 - pl.opts.Epsilon)
+	var n int
+	idx, err := seq.FirstCovering(q)
+	switch {
+	case err == nil:
+		n = idx + 1
+	case errors.Is(err, core.ErrUncovered):
+		// Finite sequence below the quantile: take all of it.
+		n = len(seq.Materialized())
+	case errors.Is(err, core.ErrTooLong) && maxAttempts > 0:
+		n = maxAttempts
+	default:
+		return nil, fmt.Errorf("repro: admission policy for %s: %w", strategyName, err)
+	}
+	if maxAttempts > 0 && n > maxAttempts {
+		n = maxAttempts
+	}
+	policy, err := seq.Prefix(n)
+	if err != nil {
+		return nil, fmt.Errorf("repro: admission policy for %s: %w", strategyName, err)
+	}
+	if len(policy) == 0 {
+		return nil, fmt.Errorf("repro: admission policy for %s is empty", strategyName)
+	}
+	return policy, nil
+}

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+)
+
+func TestAdmissionPolicyCoversQuantile(t *testing.T) {
+	pl, err := NewPlanner(CostModel{Alpha: 1, Beta: 1, Gamma: 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dist.MustExponential(1)
+	policy, err := pl.AdmissionPolicy(d, StrategyMeanDoubling, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(policy) == 0 {
+		t.Fatal("empty policy")
+	}
+	prev := 0.0
+	for i, v := range policy {
+		if !(v > prev) {
+			t.Fatalf("policy not strictly increasing at %d: %v", i, policy)
+		}
+		prev = v
+	}
+	q := d.Quantile(1 - pl.Options().Epsilon)
+	if policy[len(policy)-1] < q {
+		t.Fatalf("last reservation %g does not cover the (1-ε) quantile %g", policy[len(policy)-1], q)
+	}
+	// One attempt fewer would not cover it: the prefix is minimal.
+	if len(policy) > 1 && policy[len(policy)-2] >= q {
+		t.Fatalf("prefix not minimal: %v covers %g one attempt early", policy, q)
+	}
+}
+
+func TestAdmissionPolicyMaxAttemptsCap(t *testing.T) {
+	pl, err := NewPlanner(CostModel{Alpha: 1, Beta: 1, Gamma: 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dist.MustLogNormal(3, 0.5)
+	full, err := pl.AdmissionPolicy(d, StrategyMeanDoubling, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 3 {
+		t.Skipf("law too easy to cover (%d attempts); cap test needs >= 3", len(full))
+	}
+	capped, err := pl.AdmissionPolicy(d, StrategyMeanDoubling, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 2 {
+		t.Fatalf("cap ignored: %d attempts", len(capped))
+	}
+	for i := range capped {
+		if capped[i] != full[i] {
+			t.Fatalf("capped policy diverges from the full prefix at %d", i)
+		}
+	}
+}
+
+func TestAdmissionPolicyDrivesClusterSimulator(t *testing.T) {
+	// End-to-end: plan a strategy, run it as the admission policy of a
+	// fleet, and require a clean invariant trace plus the expected
+	// kill-resubmit behaviour.
+	pl, err := NewPlanner(CostModel{Alpha: 1, Beta: 1, Gamma: 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dist.MustWeibull(1, 0.5) // heavy tail: multi-attempt policies matter
+	policy, err := pl.AdmissionPolicy(d, StrategyEqualProb, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.WorkloadSpec{
+		Seed:        5,
+		Jobs:        4000,
+		ArrivalRate: 2,
+		Classes: []cluster.JobClass{{
+			Name: "weibull", Runtime: d, Weight: 1,
+			MinWidth: 1, MaxWidth: 2, Policy: policy,
+		}},
+	}
+	cfg := cluster.Config{
+		Nodes:    []int{4, 4},
+		Tenants:  []cluster.Tenant{{Name: "all", Budget: math.Inf(1)}},
+		Backfill: cluster.BackfillEASY,
+		Model:    pl.CostModel(),
+	}
+	out, err := cluster.Run(spec, cfg, 0, true)
+	if err != nil {
+		t.Fatalf("cluster run under planner policy: %v", err)
+	}
+	if out.Stats.Jobs != spec.Jobs {
+		t.Fatalf("summarized %d jobs", out.Stats.Jobs)
+	}
+	if !(out.Stats.MeanAttempts > 1) {
+		t.Fatalf("a multi-attempt strategy on a heavy-tailed law should resubmit: MeanAttempts %g", out.Stats.MeanAttempts)
+	}
+	if out.Stats.MeanCost <= 0 {
+		t.Fatalf("attempts must cost something: %g", out.Stats.MeanCost)
+	}
+}

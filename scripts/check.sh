@@ -15,10 +15,14 @@
 #      additions with `go run ./cmd/lint -escapes -write`)
 #   5. go test    — the full unit/integration suite
 #   6. go test -race over the concurrency substrate: the parallel
-#      worker pool, the two simulators that fan out onto it, the core
+#      worker pool, the simulators that fan out onto it (including the
+#      cluster simulator's parallel workload generation), the core
 #      package whose shared-cursor scoring runs on worker blocks, and
 #      the DP package whose verify/fallback switches are process-wide
 #      atomics exercised from concurrent solves.
+#   7. fuzz smoke — a few seconds of the cluster ledger/backfill fuzz
+#      targets on top of their committed corpora (testdata/fuzz), so a
+#      freshly broken invariant is found here, not in a nightly.
 #
 # Usage: scripts/check.sh [--bench] [--compare]
 #
@@ -56,7 +60,11 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency substrate)"
-go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/lru/... ./internal/service/... ./internal/core/... ./internal/dp/...
+go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/cluster/... ./internal/lru/... ./internal/service/... ./internal/core/... ./internal/dp/...
+
+echo "== fuzz smoke (cluster ledger + backfill)"
+go test -run '^$' -fuzz '^FuzzLedger$' -fuzztime 3s ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzBackfill$' -fuzztime 3s ./internal/cluster/
 
 echo "check.sh: all gates passed"
 
