@@ -1,0 +1,317 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/service/api"
+)
+
+// scriptedHandler serves canned responses in order, recording requests.
+type scriptedHandler struct {
+	t        *testing.T
+	calls    atomic.Int32
+	statuses []int // status per call; last repeats
+	tenants  chan string
+}
+
+func (h *scriptedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(h.calls.Add(1)) - 1
+	if h.tenants != nil {
+		h.tenants <- r.Header.Get(api.HeaderTenant)
+	}
+	status := h.statuses[min(n, len(h.statuses)-1)]
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(api.HeaderCache, "miss")
+	w.Header().Set(api.HeaderShard, "shard-1")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+		var er api.ErrorResponse
+		er.Error.Code = api.CodeUnavailable
+		er.Error.Message = "scripted failure"
+		_ = json.NewEncoder(w).Encode(er)
+		return
+	}
+	var resp api.PlanResponse
+	resp.CanonicalSpec = "exponential(1)"
+	resp.Plan.Strategy = "brute-force"
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// newTestClient builds a client over h with an instant, recording
+// sleep function.
+func newTestClient(t *testing.T, h http.Handler, cfg Config) (*Client, *[]time.Duration) {
+	t.Helper()
+	var delays []time.Duration
+	cfg.BaseURL = "http://fleet"
+	cfg.HTTPClient = &http.Client{Transport: HandlerTransport(h)}
+	cfg.sleep = func(_ context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return nil
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &delays
+}
+
+func TestPlanTypedHappyPath(t *testing.T) {
+	h := &scriptedHandler{t: t, statuses: []int{200}}
+	c, _ := newTestClient(t, h, Config{})
+	resp, err := c.Plan(context.Background(), api.PlanRequest{
+		Distribution: "exp(1)", CostModel: api.CostModel{Alpha: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CanonicalSpec != "exponential(1)" || resp.Plan.Strategy != "brute-force" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Errorf("%d calls, want 1", got)
+	}
+}
+
+func TestRawCarriesServingMetadata(t *testing.T) {
+	h := &scriptedHandler{t: t, statuses: []int{200}}
+	c, _ := newTestClient(t, h, Config{})
+	raw, err := c.PlanRaw(context.Background(), api.PlanRequest{Distribution: "exp(1)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Status != 200 || raw.Cache != "miss" || raw.Shard != "shard-1" {
+		t.Errorf("raw = %+v", raw)
+	}
+	if len(raw.Body) == 0 {
+		t.Error("raw body empty")
+	}
+}
+
+func TestTenantHeaderSent(t *testing.T) {
+	h := &scriptedHandler{t: t, statuses: []int{200}, tenants: make(chan string, 1)}
+	c, _ := newTestClient(t, h, Config{Tenant: "team-a"})
+	if _, err := c.PlanRaw(context.Background(), api.PlanRequest{Distribution: "exp(1)"}); err != nil {
+		t.Fatal(err)
+	}
+	if tenant := <-h.tenants; tenant != "team-a" {
+		t.Errorf("X-Tenant = %q", tenant)
+	}
+}
+
+// TestRetriesTransientThenSucceeds: 503s are retried with backoff; the
+// eventual 200 is returned and the delays grow exponentially within
+// the jitter envelope.
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	h := &scriptedHandler{t: t, statuses: []int{503, 503, 200}}
+	c, delays := newTestClient(t, h, Config{MaxRetries: 3, RetryBase: 100 * time.Millisecond, RetryMax: 10 * time.Second})
+	resp, err := c.Plan(context.Background(), api.PlanRequest{Distribution: "exp(1)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CanonicalSpec != "exponential(1)" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Errorf("%d calls, want 3", got)
+	}
+	if len(*delays) != 2 {
+		t.Fatalf("delays = %v, want 2", *delays)
+	}
+	for i, d := range *delays {
+		base := 100 * time.Millisecond << uint(i)
+		lo, hi := time.Duration(0.5*float64(base)), time.Duration(1.5*float64(base))
+		if d < lo || d >= hi {
+			t.Errorf("delay[%d] = %v outside jitter envelope [%v, %v)", i, d, lo, hi)
+		}
+	}
+}
+
+// TestTransientExhaustsBudget: when every attempt returns 503, the
+// final transient response is handed back (typed decoding turns it
+// into *APIError) rather than losing the body.
+func TestTransientExhaustsBudget(t *testing.T) {
+	h := &scriptedHandler{t: t, statuses: []int{503}}
+	c, _ := newTestClient(t, h, Config{MaxRetries: 2})
+	_, err := c.Plan(context.Background(), api.PlanRequest{Distribution: "exp(1)"})
+	var aerr *APIError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if aerr.Status != 503 || aerr.Code != api.CodeUnavailable {
+		t.Errorf("aerr = %+v", aerr)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Errorf("%d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestNoRetryOnDeterministicFailure: 4xx and 500 are not retried.
+func TestNoRetryOnDeterministicFailure(t *testing.T) {
+	for _, status := range []int{400, 404, 429, 500} {
+		h := &scriptedHandler{t: t, statuses: []int{status}}
+		c, delays := newTestClient(t, h, Config{})
+		_, err := c.Plan(context.Background(), api.PlanRequest{Distribution: "exp(1)"})
+		var aerr *APIError
+		if !errors.As(err, &aerr) || aerr.Status != status {
+			t.Fatalf("status %d: err = %v", status, err)
+		}
+		if got := h.calls.Load(); got != 1 {
+			t.Errorf("status %d: %d calls, want 1", status, got)
+		}
+		if len(*delays) != 0 {
+			t.Errorf("status %d: slept %v", status, *delays)
+		}
+	}
+}
+
+// TestRetryDisabled: MaxRetries < 0 issues exactly one attempt.
+func TestRetryDisabled(t *testing.T) {
+	h := &scriptedHandler{t: t, statuses: []int{503}}
+	c, delays := newTestClient(t, h, Config{MaxRetries: -1})
+	raw, err := c.PlanRaw(context.Background(), api.PlanRequest{Distribution: "exp(1)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Status != 503 || h.calls.Load() != 1 || len(*delays) != 0 {
+		t.Errorf("status %d, calls %d, delays %v", raw.Status, h.calls.Load(), *delays)
+	}
+}
+
+// failingTransport errors n times, then delegates.
+type failingTransport struct {
+	n     atomic.Int32
+	limit int32
+	next  http.RoundTripper
+}
+
+func (f *failingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.n.Add(1) <= f.limit {
+		return nil, errors.New("connection refused (scripted)")
+	}
+	return f.next.RoundTrip(req)
+}
+
+func TestRetriesTransportErrors(t *testing.T) {
+	h := &scriptedHandler{t: t, statuses: []int{200}}
+	ft := &failingTransport{limit: 2, next: HandlerTransport(h)}
+	var c *Client
+	var err error
+	c, err = New(Config{
+		BaseURL:    "http://fleet",
+		HTTPClient: &http.Client{Transport: ft},
+		MaxRetries: 2,
+		sleep:      func(context.Context, time.Duration) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Plan(context.Background(), api.PlanRequest{Distribution: "exp(1)"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Errorf("handler saw %d calls, want 1 (after 2 transport failures)", got)
+	}
+
+	// With the budget exhausted, the transport error surfaces.
+	ft2 := &failingTransport{limit: 100, next: HandlerTransport(h)}
+	c2, err := New(Config{
+		BaseURL:    "http://fleet",
+		HTTPClient: &http.Client{Transport: ft2},
+		MaxRetries: 1,
+		sleep:      func(context.Context, time.Duration) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Plan(context.Background(), api.PlanRequest{Distribution: "exp(1)"}); err == nil {
+		t.Error("want transport error after retries exhausted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != api.PathHealthz || r.Method != http.MethodGet {
+			w.WriteHeader(404)
+			return
+		}
+		w.WriteHeader(200)
+	})
+	c, _ := newTestClient(t, ok, Config{})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Errorf("healthz on healthy service: %v", err)
+	}
+	down := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(500) })
+	c2, _ := newTestClient(t, down, Config{})
+	if err := c2.Healthz(context.Background()); err == nil {
+		t.Error("healthz on broken service: want error")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty BaseURL accepted")
+	}
+	c, err := New(Config{BaseURL: "http://x/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.BaseURL != "http://x" {
+		t.Errorf("trailing slash kept: %q", c.cfg.BaseURL)
+	}
+	if c.cfg.MaxRetries != DefaultMaxRetries || c.cfg.RetryBase != DefaultRetryBase || c.cfg.RetryMax != DefaultRetryMax {
+		t.Errorf("defaults not applied: %+v", c.cfg)
+	}
+}
+
+// TestBackoffDeterministicPerSeed: two clients with one seed produce
+// identical jittered delays; the cap holds for large attempts.
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	mk := func() *Client {
+		c, err := New(Config{BaseURL: "http://x", Seed: 11, RetryBase: 10 * time.Millisecond, RetryMax: 80 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 8; i++ {
+		da, db := a.backoff(i), b.backoff(i)
+		if da != db {
+			t.Fatalf("attempt %d: %v != %v with equal seeds", i, da, db)
+		}
+		if da >= time.Duration(1.5*float64(80*time.Millisecond)) {
+			t.Errorf("attempt %d: delay %v above jittered cap", i, da)
+		}
+	}
+}
+
+// TestSleepHonorsContext: a canceled context aborts the retry loop.
+func TestSleepHonorsContext(t *testing.T) {
+	h := &scriptedHandler{t: t, statuses: []int{503}}
+	c, err := New(Config{
+		BaseURL:    "http://fleet",
+		HTTPClient: &http.Client{Transport: HandlerTransport(h)},
+		MaxRetries: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.PlanRaw(ctx, api.PlanRequest{Distribution: "exp(1)"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -12,12 +12,19 @@
 //	go run ./cmd/bench -bench . -out all.json
 //	go run ./cmd/bench -cpuprofile cpu.out   # profile the benchmarked code
 //	go run ./cmd/bench -compare BENCH.json   # regression check, no write
+//	go run ./cmd/bench -loadgen=false        # skip the loadgen entries
 //	scripts/check.sh --bench                 # full gate + benchmarks
 //
 // The output is deterministic apart from the measurements themselves:
 // benchmarks are sorted by name, repeated -count runs are averaged, and
 // no timestamps are recorded (wall-clock metadata would make every run
 // a spurious diff).
+//
+// With -loadgen (the default), bench also runs `go run ./cmd/loadgen
+// -bench-json -` — a short deterministic load-generator pass against an
+// in-process sharded plan service — and merges its latency-quantile and
+// hit-ratio entries into the report, so fleet-level serving numbers are
+// written to and gated by BENCH.json exactly like the micro-benchmarks.
 //
 // -cpuprofile/-memprofile are handed through to `go test`, which writes
 // the profile files and the compiled test binary (needed by `go tool
@@ -34,10 +41,29 @@ import (
 	"io"
 	"os"
 	"os/exec"
-	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchfmt"
 )
+
+// Result and Report alias the shared BENCH.json schema; cmd/loadgen
+// produces entries in the same shape so both tools write one file.
+type (
+	Result = benchfmt.Result
+	Report = benchfmt.Report
+)
+
+// parseBenchOutput, compareReports, and stripProcsSuffix are the
+// schema package's implementations under their historical names; the
+// behavior is pinned by this package's tests.
+func parseBenchOutput(text string) (Report, error) { return benchfmt.ParseGoBench(text) }
+
+func compareReports(baseline, current Report, tolerance float64) ([]string, bool) {
+	return benchfmt.Compare(baseline, current, tolerance)
+}
+
+func stripProcsSuffix(name string) string { return benchfmt.StripProcsSuffix(name) }
 
 // defaultBench is the scoring-path subset — the candidate-evaluation
 // benchmarks the empirical-cost fast path is accountable to, the DP
@@ -54,32 +80,6 @@ const defaultBench = "^(BenchmarkWorkloadScoring|BenchmarkBruteForceScoring|Benc
 // benchtime, tight enough to catch a lost fast path.
 const compareTolerance = 1.25
 
-// Result is one benchmark's averaged measurements.
-type Result struct {
-	// Name is the benchmark name with the GOMAXPROCS suffix stripped
-	// (BenchmarkFoo/bar-8 -> BenchmarkFoo/bar).
-	Name string `json:"name"`
-	// Runs is the number of -count repetitions averaged together.
-	Runs int `json:"runs"`
-	// Iterations is the mean b.N across runs.
-	Iterations float64 `json:"iterations"`
-	// NsPerOp is the mean ns/op.
-	NsPerOp float64 `json:"ns_per_op"`
-	// BytesPerOp is the mean B/op (0 unless -benchmem reported it).
-	BytesPerOp float64 `json:"bytes_per_op"`
-	// AllocsPerOp is the mean allocs/op (0 unless -benchmem reported it).
-	AllocsPerOp float64 `json:"allocs_per_op"`
-}
-
-// Report is the BENCH.json schema.
-type Report struct {
-	GoOS       string   `json:"goos,omitempty"`
-	GoArch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
-
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -95,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (passed to go test)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file (passed to go test)")
 	compare := fs.String("compare", "", "baseline JSON to diff against instead of writing -out; exit nonzero on >25% ns/op regressions")
+	loadgen := fs.Bool("loadgen", true, "also run cmd/loadgen and merge its serving-latency entries into the report")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -135,15 +136,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bench: no benchmarks matched %q\n", *benchRe)
 		return 1
 	}
-	if *compare != "" {
-		blob, err := os.ReadFile(*compare)
+	if *loadgen {
+		entries, err := runLoadgen(stderr)
 		if err != nil {
-			fmt.Fprintf(stderr, "bench: %v\n", err)
+			fmt.Fprintf(stderr, "bench: loadgen: %v\n", err)
 			return 1
 		}
-		var baseline Report
-		if err := json.Unmarshal(blob, &baseline); err != nil {
-			fmt.Fprintf(stderr, "bench: parsing %s: %v\n", *compare, err)
+		report = benchfmt.Merge(report, entries)
+		fmt.Fprintf(stderr, "bench: merged %d loadgen entries\n", len(entries))
+	}
+	if *compare != "" {
+		baseline, err := benchfmt.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
 			return 1
 		}
 		lines, regressed := compareReports(baseline, report, compareTolerance)
@@ -157,13 +162,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bench: no regressions vs %s\n", *compare)
 		return 0
 	}
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(stderr, "bench: %v\n", err)
-		return 1
-	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := report.WriteFile(*out); err != nil {
 		fmt.Fprintf(stderr, "bench: %v\n", err)
 		return 1
 	}
@@ -171,150 +170,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// parseBenchOutput turns `go test -bench` text into a Report. Repeated
-// lines for one benchmark (from -count > 1) are averaged; benchmarks
-// are sorted by name.
-func parseBenchOutput(text string) (Report, error) {
-	var report Report
-	type acc struct {
-		runs                       int
-		iters, ns, bytesOp, allocs float64
+// runLoadgen executes the load generator's bench pass (its committed
+// default mix against an in-process sharded service) and returns the
+// BENCH.json entries it printed on stdout.
+func runLoadgen(stderr io.Writer) ([]Result, error) {
+	args := []string{"run", "./cmd/loadgen", "-bench-json", "-"}
+	fmt.Fprintf(stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return nil, err
 	}
-	sums := make(map[string]*acc)
-	var order []string
-
-	for _, line := range strings.Split(text, "\n") {
-		line = strings.TrimSpace(line)
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			report.GoOS = strings.TrimPrefix(line, "goos: ")
-			continue
-		case strings.HasPrefix(line, "goarch: "):
-			report.GoArch = strings.TrimPrefix(line, "goarch: ")
-			continue
-		case strings.HasPrefix(line, "pkg: "):
-			report.Pkg = strings.TrimPrefix(line, "pkg: ")
-			continue
-		case strings.HasPrefix(line, "cpu: "):
-			report.CPU = strings.TrimPrefix(line, "cpu: ")
-			continue
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		// Name iterations value unit [value unit ...]
-		if len(fields) < 4 || len(fields)%2 != 0 {
-			continue
-		}
-		name := stripProcsSuffix(fields[0])
-		iters, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			return report, fmt.Errorf("bad iteration count in %q: %v", line, err)
-		}
-		a := sums[name]
-		if a == nil {
-			a = &acc{}
-			sums[name] = a
-			order = append(order, name)
-		}
-		a.runs++
-		a.iters += iters
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return report, fmt.Errorf("bad value in %q: %v", line, err)
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				a.ns += v
-			case "B/op":
-				a.bytesOp += v
-			case "allocs/op":
-				a.allocs += v
-			}
-		}
+	var entries []Result
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("parsing loadgen output: %v", err)
 	}
-
-	sort.Strings(order)
-	for _, name := range order {
-		a := sums[name]
-		n := float64(a.runs)
-		report.Benchmarks = append(report.Benchmarks, Result{
-			Name:        name,
-			Runs:        a.runs,
-			Iterations:  a.iters / n,
-			NsPerOp:     a.ns / n,
-			BytesPerOp:  a.bytesOp / n,
-			AllocsPerOp: a.allocs / n,
-		})
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("loadgen produced no entries")
 	}
-	return report, nil
-}
-
-// compareReports diffs current ns/op and allocs/op against the
-// baseline for every benchmark present in both reports, in baseline
-// order. It returns one human-readable line per shared benchmark plus
-// notes for benchmarks only one side has, and whether any shared
-// benchmark regressed: ns/op above baseline × tolerance, or allocs/op
-// measurably above baseline. Allocation counts are deterministic, so
-// they get no 25% slack — growth past rounding noise means a scoring
-// path gained an allocation, which is exactly what the static gate
-// (cmd/lint hotalloc/ifaceescape and the -escapes baseline) guards;
-// an ALLOC REGRESSION here that the static gate missed means a
-// hot-path annotation is missing. Faster-than-baseline results never
-// fail: the gate exists to catch lost fast paths, not to freeze
-// improvements.
-func compareReports(baseline, current Report, tolerance float64) (lines []string, regressed bool) {
-	cur := make(map[string]Result, len(current.Benchmarks))
-	for _, r := range current.Benchmarks {
-		cur[r.Name] = r
-	}
-	shared := make(map[string]bool, len(baseline.Benchmarks))
-	for _, b := range baseline.Benchmarks {
-		c, ok := cur[b.Name]
-		if !ok {
-			lines = append(lines, fmt.Sprintf("%s: in baseline only, skipped", b.Name))
-			continue
-		}
-		shared[b.Name] = true
-		ratio := c.NsPerOp / b.NsPerOp
-		verdict := "ok"
-		if b.NsPerOp > 0 && ratio > tolerance {
-			verdict = "REGRESSION"
-			regressed = true
-		}
-		allocs := ""
-		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
-			allocs = fmt.Sprintf(", %.0f -> %.0f allocs/op", b.AllocsPerOp, c.AllocsPerOp)
-			// +0.5 absorbs averaging across -count>1 runs; any real new
-			// allocation shifts the count by at least 1.
-			if c.AllocsPerOp > b.AllocsPerOp+0.5 {
-				verdict = "ALLOC REGRESSION (check go run ./cmd/lint -escapes ./...)"
-				regressed = true
-			}
-		}
-		lines = append(lines, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)%s %s",
-			b.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, allocs, verdict))
-	}
-	for _, c := range current.Benchmarks {
-		if !shared[c.Name] {
-			lines = append(lines, fmt.Sprintf("%s: not in baseline, skipped", c.Name))
-		}
-	}
-	return lines, regressed
-}
-
-// stripProcsSuffix removes the trailing -GOMAXPROCS tag go test appends
-// to benchmark names (BenchmarkFoo/bar-8 -> BenchmarkFoo/bar), so the
-// recorded names do not depend on the machine's core count.
-func stripProcsSuffix(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
+	return entries, nil
 }

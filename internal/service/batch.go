@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// batchResult is one task's computed outcome.
+type batchResult struct {
+	body []byte
+	err  error
+}
+
+// batchTask is one pending computation inside a batch group.
+type batchTask struct {
+	key     string
+	compute func() ([]byte, error)
+	done    chan batchResult
+}
+
+// batcher accumulates cache-miss computations into groups — all tasks
+// in a group share a planner (identical cost model and options) but
+// typically differ in distribution spec — and flushes each group as
+// one unit: either when the group reaches limit tasks or when window
+// has elapsed since the group opened, whichever comes first. Flushing
+// hands the whole group to run, which the Backend implements as a
+// single parallel.ForEach sweep, so a burst of related misses costs
+// one fan-out instead of N independent goroutine wakeups.
+//
+// The batcher never drops a task: every submitted task's done channel
+// receives exactly one result.
+type batcher struct {
+	window time.Duration
+	limit  int
+	run    func(tasks []*batchTask)
+
+	mu     sync.Mutex
+	groups map[string][]*batchTask
+	gen    map[string]int // flush generation per group, detects stale timers
+}
+
+// newBatcher builds a batcher flushing through run.
+func newBatcher(window time.Duration, limit int, run func(tasks []*batchTask)) *batcher {
+	return &batcher{
+		window: window,
+		limit:  limit,
+		run:    run,
+		groups: make(map[string][]*batchTask),
+		gen:    make(map[string]int),
+	}
+}
+
+// do submits one computation to the named group and blocks until its
+// batch flushes and the computation completes.
+func (b *batcher) do(group, key string, compute func() ([]byte, error)) ([]byte, error) {
+	t := &batchTask{key: key, compute: compute, done: make(chan batchResult, 1)}
+	b.submit(group, t)
+	res := <-t.done
+	return res.body, res.err
+}
+
+// submit adds a task to its group, opening the group's flush timer on
+// the first task and flushing immediately on the limit-th.
+func (b *batcher) submit(group string, t *batchTask) {
+	b.mu.Lock()
+	b.groups[group] = append(b.groups[group], t)
+	n := len(b.groups[group])
+	if n >= b.limit {
+		tasks := b.takeLocked(group)
+		b.mu.Unlock()
+		go b.run(tasks)
+		return
+	}
+	if n == 1 {
+		gen := b.gen[group]
+		time.AfterFunc(b.window, func() { b.flush(group, gen) })
+	}
+	b.mu.Unlock()
+}
+
+// flush empties the group if it is still the generation the timer was
+// armed for; a group already flushed by the size limit bumped its
+// generation, making this timer a no-op.
+func (b *batcher) flush(group string, gen int) {
+	b.mu.Lock()
+	if b.gen[group] != gen || len(b.groups[group]) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	tasks := b.takeLocked(group)
+	b.mu.Unlock()
+	b.run(tasks)
+}
+
+// takeLocked removes and returns the group's tasks; callers hold mu.
+func (b *batcher) takeLocked(group string) []*batchTask {
+	tasks := b.groups[group]
+	delete(b.groups, group)
+	b.gen[group]++
+	return tasks
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatcherFlushesOnLimit: the limit-th task flushes the group
+// immediately — the window (set absurdly long) is never waited out.
+func TestBatcherFlushesOnLimit(t *testing.T) {
+	var mu sync.Mutex
+	var flushes [][]string
+	b := newBatcher(time.Hour, 3, func(tasks []*batchTask) {
+		keys := make([]string, len(tasks))
+		for i, task := range tasks {
+			keys[i] = task.key
+			task.done <- batchResult{body: []byte(task.key)}
+		}
+		mu.Lock()
+		flushes = append(flushes, keys)
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err := b.do("g", fmt.Sprintf("k%d", i), nil)
+			if err != nil || len(body) == 0 {
+				t.Errorf("task %d: body %q err %v", i, body, err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("limit-full batch did not flush without the window elapsing")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushes) != 1 || len(flushes[0]) != 3 {
+		t.Errorf("flushes = %v, want one flush of 3", flushes)
+	}
+}
+
+// TestBatcherFlushesOnWindow: a partial group flushes when the window
+// elapses.
+func TestBatcherFlushesOnWindow(t *testing.T) {
+	var flushed atomic.Int32
+	b := newBatcher(5*time.Millisecond, 100, func(tasks []*batchTask) {
+		flushed.Add(int32(len(tasks)))
+		for _, task := range tasks {
+			task.done <- batchResult{body: []byte("ok")}
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.do("g", fmt.Sprintf("k%d", i), nil); err != nil {
+				t.Errorf("task %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := flushed.Load(); got != 2 {
+		t.Errorf("flushed %d tasks, want 2", got)
+	}
+}
+
+// TestBatcherGroupsAreIndependent: tasks in different groups never
+// share a flush.
+func TestBatcherGroupsAreIndependent(t *testing.T) {
+	var mu sync.Mutex
+	groupsSeen := make(map[string]bool)
+	b := newBatcher(5*time.Millisecond, 10, func(tasks []*batchTask) {
+		mu.Lock()
+		prefix := tasks[0].key[:1]
+		for _, task := range tasks {
+			if task.key[:1] != prefix {
+				t.Errorf("mixed-group flush: %q with %q", task.key, tasks[0].key)
+			}
+		}
+		groupsSeen[prefix] = true
+		mu.Unlock()
+		for _, task := range tasks {
+			task.done <- batchResult{body: []byte("ok")}
+		}
+	})
+	var wg sync.WaitGroup
+	for _, g := range []string{"a", "b"} {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(g string, i int) {
+				defer wg.Done()
+				_, _ = b.do(g, fmt.Sprintf("%s%d", g, i), nil)
+			}(g, i)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if !groupsSeen["a"] || !groupsSeen["b"] {
+		t.Errorf("groups seen: %v", groupsSeen)
+	}
+}
+
+// TestBackendBatchingEndToEnd: with batching enabled, concurrent
+// misses sharing a cost model but differing in spec all succeed, are
+// correct, and are accounted by the batch metrics; afterwards each is
+// an ordinary cache hit.
+func TestBackendBatchingEndToEnd(t *testing.T) {
+	s := New(Config{Limits: LimitsConfig{BatchWindow: 2 * time.Millisecond, BatchLimit: 8}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	specs := []string{"exponential(1)", "exponential(2)", "uniform(10,20)", "gamma(2,2)", "weibull(1,0.5)", "lognormal(3,0.5)"}
+	bodyFor := func(spec string) string {
+		return fmt.Sprintf(`{"distribution": %q, "cost_model": {"alpha": 1}, "strategy": "mean-doubling", "options": {"grid_m": 150}}`, spec)
+	}
+	responses := make([][]byte, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(bodyFor(spec)))
+			if err != nil {
+				t.Errorf("%s: %v", spec, err)
+				return
+			}
+			defer resp.Body.Close()
+			buf := new(bytes.Buffer)
+			_, _ = buf.ReadFrom(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s: status %d\n%s", spec, resp.StatusCode, buf.Bytes())
+				return
+			}
+			responses[i] = buf.Bytes()
+		}(i, spec)
+	}
+	wg.Wait()
+	if got := s.metrics.batchedTasks.Value(); got != int64(len(specs)) {
+		t.Errorf("batched_tasks = %d, want %d", got, len(specs))
+	}
+	if s.metrics.batchFlushes.Value() < 1 {
+		t.Error("no batch flush recorded")
+	}
+	// Batched responses must be the same bytes a later cache hit serves.
+	for i, spec := range specs {
+		resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(bodyFor(spec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := new(bytes.Buffer)
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("X-Cache") != "hit" {
+			t.Errorf("%s: repeat X-Cache %q", spec, resp.Header.Get("X-Cache"))
+		}
+		if !bytes.Equal(responses[i], buf.Bytes()) {
+			t.Errorf("%s: batched bytes differ from cached bytes", spec)
+		}
+	}
+}
+
+// TestBatchingDisabledByDefault: the zero config runs no batcher, so
+// the inline-computation contract (worker gauge never moves) holds.
+func TestBatchingDisabledByDefault(t *testing.T) {
+	if s := New(Config{}); s.batch != nil {
+		t.Error("batcher constructed without BatchWindow")
+	}
+}

@@ -10,99 +10,28 @@ import (
 	"strings"
 
 	"repro"
+	"repro/service/api"
 )
-
-// costModelJSON mirrors repro.CostModel on the wire.
-type costModelJSON struct {
-	Alpha float64 `json:"alpha"`
-	Beta  float64 `json:"beta"`
-	Gamma float64 `json:"gamma"`
-}
-
-// optionsJSON mirrors repro.Options on the wire. Workers is absent on
-// purpose: the server always computes inline (Workers = 1) and scales
-// across requests instead.
-type optionsJSON struct {
-	GridM       int     `json:"grid_m,omitempty"`
-	SamplesN    int     `json:"samples_n,omitempty"`
-	DiscN       int     `json:"disc_n,omitempty"`
-	Epsilon     float64 `json:"epsilon,omitempty"`
-	Seed        uint64  `json:"seed,omitempty"`
-	MonteCarlo  bool    `json:"monte_carlo,omitempty"`
-	PreviewLen  int     `json:"preview_len,omitempty"`
-	MaxAttempts int     `json:"max_attempts,omitempty"`
-}
-
-// planRequest is the body of POST /v1/plan.
-type planRequest struct {
-	// Distribution is a canonical spec, e.g. "lognormal(3,0.5)".
-	Distribution string        `json:"distribution"`
-	CostModel    costModelJSON `json:"cost_model"`
-	// Strategy is a repro.Strategies() name; empty means brute-force.
-	Strategy string      `json:"strategy,omitempty"`
-	Options  optionsJSON `json:"options,omitempty"`
-}
-
-// simulateRequest is the body of POST /v1/simulate: a plan request
-// plus the Monte-Carlo evaluation parameters.
-type simulateRequest struct {
-	planRequest
-	// Samples is the number of sampled jobs (default 1000).
-	Samples int `json:"samples,omitempty"`
-	// SimSeed drives the evaluation sampler (independent of
-	// options.seed, which drives Monte-Carlo *scoring*).
-	SimSeed uint64 `json:"sim_seed,omitempty"`
-}
-
-// planStatsJSON is the closed-form operating statistics included in a
-// plan response.
-type planStatsJSON struct {
-	ExpectedAttempts float64 `json:"expected_attempts"`
-	ExpectedReserved float64 `json:"expected_reserved"`
-	ExpectedUsed     float64 `json:"expected_used"`
-	Utilization      float64 `json:"utilization"`
-}
-
-// planResponse is the body of a successful POST /v1/plan.
-type planResponse struct {
-	Plan  repro.PlanSummary `json:"plan"`
-	Stats *planStatsJSON    `json:"stats,omitempty"`
-}
-
-// simulateResponse is the body of a successful POST /v1/simulate.
-type simulateResponse struct {
-	Plan           repro.PlanSummary `json:"plan"`
-	Samples        int               `json:"samples"`
-	SimSeed        uint64            `json:"sim_seed"`
-	NormalizedCost float64           `json:"normalized_cost"`
-	StdErr         float64           `json:"std_err"`
-}
-
-// errorResponse is the body of every non-2xx response.
-type errorResponse struct {
-	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
-	} `json:"error"`
-}
 
 // planInputs is a validated, canonicalized plan request.
 type planInputs struct {
 	planner  *repro.Planner
 	dist     repro.Distribution
 	strategy string // canonical: never empty
+	spec     string // canonical distribution spec (routing/cache key)
+	group    string // planner key: the batching group
 	key      string // canonical cache key, without endpoint prefix
 }
 
-// apiError pairs an HTTP status with a structured error code.
+// apiError pairs a stable error code with its message; the HTTP
+// status comes from the api code table.
 type apiError struct {
-	status  int
 	code    string
 	message string
 }
 
 func badRequest(format string, args ...any) *apiError {
-	return &apiError{http.StatusBadRequest, "bad_request", fmt.Sprintf(format, args...)}
+	return &apiError{api.CodeBadRequest, fmt.Sprintf(format, args...)}
 }
 
 // decodeJSON strictly decodes one JSON value from the request body.
@@ -142,13 +71,30 @@ func plannerKey(m repro.CostModel, o repro.Options) string {
 	}, "|")
 }
 
+// CanonicalSpec canonicalizes a distribution spec exactly as the
+// service's cache keys and the frontend's shard routing do. The
+// Frontend uses it so that every spelling of one distribution routes
+// to the same home shard.
+func CanonicalSpec(spec string) (string, error) {
+	d, err := repro.ParseDistribution(spec)
+	if err != nil {
+		return "", err
+	}
+	if canonical, err := repro.DistributionSpec(d); err == nil {
+		return canonical, nil
+	}
+	// Distributions without a canonical serialization (e.g. empirical)
+	// keep the caller's spelling.
+	return spec, nil
+}
+
 // resolveInputs validates a plan request and canonicalizes it into a
 // Planner (shared across requests with the same model and options), a
 // parsed distribution, and a cache key. Two requests that spell the
 // same plan differently — "exp(1)" vs "exponential(1.0)", an omitted
 // option vs its default, an empty strategy vs "brute-force" — resolve
 // to the same key.
-func (s *Server) resolveInputs(req planRequest) (*planInputs, *apiError) {
+func (s *Backend) resolveInputs(req api.PlanRequest) (*planInputs, *apiError) {
 	if strings.TrimSpace(req.Distribution) == "" {
 		return nil, badRequest("missing distribution spec (e.g. \"lognormal(3,0.5)\")")
 	}
@@ -187,6 +133,8 @@ func (s *Server) resolveInputs(req planRequest) (*planInputs, *apiError) {
 		planner:  pl,
 		dist:     d,
 		strategy: strat,
+		spec:     spec,
+		group:    plKey,
 		key:      plKey + "|dist=" + spec + "|strategy=" + strat,
 	}, nil
 }
@@ -196,7 +144,7 @@ func (s *Server) resolveInputs(req planRequest) (*planInputs, *apiError) {
 // resolves the option defaults, so the returned key is canonical. A
 // concurrent miss may build two equivalent Planners; either works and
 // the cache converges on one.
-func (s *Server) planner(model repro.CostModel, opts repro.Options) (*repro.Planner, string, error) {
+func (s *Backend) planner(model repro.CostModel, opts repro.Options) (*repro.Planner, string, error) {
 	pl, err := repro.NewPlanner(model, opts)
 	if err != nil {
 		return nil, "", err
@@ -210,9 +158,9 @@ func (s *Server) planner(model repro.CostModel, opts repro.Options) (*repro.Plan
 }
 
 // handlePlan implements POST /v1/plan.
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+func (s *Backend) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.instrumented(w, r, "plan", func(w http.ResponseWriter, r *http.Request) {
-		var req planRequest
+		var req api.PlanRequest
 		if aerr := decodeJSON(w, r, &req); aerr != nil {
 			s.writeAPIError(w, aerr)
 			return
@@ -222,14 +170,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			s.writeAPIError(w, aerr)
 			return
 		}
-		s.respond(w, r, "plan|"+in.key, func() ([]byte, error) {
+		s.respond(w, r, "plan|"+in.key, in.group, func() ([]byte, error) {
 			p, err := in.planner.Plan(in.dist, in.strategy)
 			if err != nil {
 				return nil, err
 			}
-			resp := planResponse{Plan: p.Summary()}
+			resp := api.PlanResponse{Plan: p.Summary(), CanonicalSpec: in.spec}
 			if st, err := p.Stats(); err == nil {
-				resp.Stats = &planStatsJSON{
+				resp.Stats = &api.PlanStats{
 					ExpectedAttempts: st.ExpectedAttempts,
 					ExpectedReserved: st.ExpectedReserved,
 					ExpectedUsed:     st.ExpectedUsed,
@@ -242,9 +190,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSimulate implements POST /v1/simulate.
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (s *Backend) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.instrumented(w, r, "simulate", func(w http.ResponseWriter, r *http.Request) {
-		var req simulateRequest
+		var req api.SimulateRequest
 		if aerr := decodeJSON(w, r, &req); aerr != nil {
 			s.writeAPIError(w, aerr)
 			return
@@ -256,7 +204,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if req.Samples == 0 {
 			req.Samples = 1000
 		}
-		in, aerr := s.resolveInputs(req.planRequest)
+		in, aerr := s.resolveInputs(req.PlanRequest)
 		if aerr != nil {
 			s.writeAPIError(w, aerr)
 			return
@@ -264,7 +212,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		key := "sim|" + in.key +
 			"|n=" + strconv.Itoa(req.Samples) +
 			"|simseed=" + strconv.FormatUint(req.SimSeed, 10)
-		s.respond(w, r, key, func() ([]byte, error) {
+		s.respond(w, r, key, in.group, func() ([]byte, error) {
 			p, err := in.planner.Plan(in.dist, in.strategy)
 			if err != nil {
 				return nil, err
@@ -273,8 +221,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			return marshalBody(simulateResponse{
+			return marshalBody(api.SimulateResponse{
 				Plan:           p.Summary(),
+				CanonicalSpec:  in.spec,
 				Samples:        req.Samples,
 				SimSeed:        req.SimSeed,
 				NormalizedCost: normalized,
@@ -286,7 +235,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 // instrumented wraps a POST handler with the shared method check and
 // the request / in-flight / latency metrics.
-func (s *Server) instrumented(w http.ResponseWriter, r *http.Request, endpoint string, h http.HandlerFunc) {
+func (s *Backend) instrumented(w http.ResponseWriter, r *http.Request, endpoint string, h http.HandlerFunc) {
 	start := s.now()
 	s.metrics.requests.Add(endpoint, 1)
 	s.metrics.inFlight.Add(1)
@@ -295,7 +244,7 @@ func (s *Server) instrumented(w http.ResponseWriter, r *http.Request, endpoint s
 		s.metrics.latencyNS.Add(endpoint, s.now().Sub(start).Nanoseconds())
 	}()
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		s.writeError(w, api.CodeMethodNotAllowed, "use POST")
 		return
 	}
 	h(w, r)
@@ -306,62 +255,86 @@ func (s *Server) instrumented(w http.ResponseWriter, r *http.Request, endpoint s
 // semaphore, honoring the per-request timeout. Cache hits return the
 // exact bytes the original miss stored, so identical requests are
 // byte-identical regardless of path; only the X-Cache header (hit,
-// miss, coalesced) distinguishes them.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, error)) {
+// miss, coalesced) distinguishes them. With batching enabled, group
+// names the planner-sharing batch the miss joins.
+func (s *Backend) respond(w http.ResponseWriter, r *http.Request, key, group string, compute func() ([]byte, error)) {
 	if body, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		writeBody(w, "hit", body)
 		return
 	}
 	ctx := r.Context()
-	if s.cfg.RequestTimeout > 0 {
+	if s.cfg.Limits.RequestTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Limits.RequestTimeout)
 		defer cancel()
 	}
 	type result struct {
-		body   []byte
-		err    error
-		shared bool
+		body    []byte
+		err     error
+		shared  bool
+		lateHit bool
 	}
 	ch := make(chan result, 1)
 	go func() {
+		var lateHit bool
 		body, err, shared := s.flight.Do(key, func() ([]byte, error) {
+			// An earlier flight may have completed between our cache check
+			// and this one starting; it stores its bytes before the flight
+			// key is released, so a re-check here is authoritative. This
+			// keeps the miss count exactly one per unique key no matter how
+			// requests interleave.
+			if b, ok := s.cache.Get(key); ok {
+				lateHit = true
+				return b, nil
+			}
 			if s.computeGate != nil {
 				s.computeGate(key)
 			}
+			cached := func() ([]byte, error) {
+				b, err := compute()
+				if err == nil {
+					s.cache.Put(key, b)
+				}
+				return b, err
+			}
+			if s.batch != nil {
+				return s.batch.do(group, key, cached)
+			}
 			s.acquire()
 			defer s.release()
-			b, err := compute()
-			if err == nil {
-				s.cache.Put(key, b)
-			}
-			return b, err
+			return cached()
 		})
-		ch <- result{body, err, shared}
+		// lateHit is only meaningful for the flight leader: a follower's
+		// closure never ran, so its lateHit stays false.
+		ch <- result{body, err, shared, lateHit && !shared}
 	}()
 	select {
 	case res := <-ch:
 		if res.err != nil {
-			s.writeError(w, http.StatusInternalServerError, "plan_failed", res.err.Error())
+			s.writeError(w, api.CodePlanFailed, res.err.Error())
 			return
 		}
-		if res.shared {
+		switch {
+		case res.lateHit:
+			s.metrics.cacheHits.Add(1)
+			writeBody(w, "hit", res.body)
+		case res.shared:
 			s.metrics.coalesced.Add(1)
 			writeBody(w, "coalesced", res.body)
-			return
+		default:
+			s.metrics.cacheMisses.Add(1)
+			writeBody(w, "miss", res.body)
 		}
-		s.metrics.cacheMisses.Add(1)
-		writeBody(w, "miss", res.body)
 	case <-ctx.Done():
 		// The computation keeps running detached and will populate the
 		// cache for later requests; this request reports the timeout.
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			s.writeError(w, http.StatusGatewayTimeout, "timeout",
-				"computation exceeded the request timeout of "+s.cfg.RequestTimeout.String())
+			s.writeError(w, api.CodeTimeout,
+				"computation exceeded the request timeout of "+s.cfg.Limits.RequestTimeout.String())
 			return
 		}
-		s.writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled")
+		s.writeError(w, api.CodeCanceled, "request canceled")
 	}
 }
 
@@ -378,20 +351,24 @@ func marshalBody(v any) ([]byte, error) {
 // writeBody writes a successful JSON response with its cache verdict.
 func writeBody(w http.ResponseWriter, cacheState string, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set(api.HeaderCache, cacheState)
 	_, _ = w.Write(body)
 }
 
-// writeError writes the structured JSON error body and counts it.
-func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+// writeError writes the structured JSON error body for a stable api
+// code and counts it; the HTTP status comes from the code table.
+func (s *Backend) writeError(w http.ResponseWriter, code, message string) {
 	s.metrics.errors.Add(code, 1)
-	var resp errorResponse
-	resp.Error.Code = code
-	resp.Error.Message = message
-	b, err := json.MarshalIndent(resp, "", "  ")
+	writeErrorBody(w, api.Status(code), api.ErrorBody{Code: code, Message: message})
+}
+
+// writeErrorBody renders one structured error envelope. Shared by the
+// Backend and the Frontend so error bytes have one shape everywhere.
+func writeErrorBody(w http.ResponseWriter, status int, body api.ErrorBody) {
+	b, err := json.MarshalIndent(api.ErrorResponse{Error: body}, "", "  ")
 	if err != nil {
-		// Unreachable: errorResponse always marshals.
-		http.Error(w, message, status)
+		// Unreachable: ErrorResponse always marshals.
+		http.Error(w, body.Message, status)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -399,6 +376,6 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, message str
 	_, _ = w.Write(append(b, '\n'))
 }
 
-func (s *Server) writeAPIError(w http.ResponseWriter, aerr *apiError) {
-	s.writeError(w, aerr.status, aerr.code, aerr.message)
+func (s *Backend) writeAPIError(w http.ResponseWriter, aerr *apiError) {
+	s.writeError(w, aerr.code, aerr.message)
 }

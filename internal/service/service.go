@@ -1,14 +1,17 @@
-// Package service implements the HTTP plan server: a JSON API over the
-// repro.Planner facade.
+// Package service implements the plan service: backend shards that
+// compute and cache reservation plans behind a JSON API over the
+// repro.Planner facade, and a sharding Frontend that routes requests
+// to backends over a consistent-hash ring (see frontend.go).
 //
-// Endpoints:
+// Backend endpoints:
 //
 //	POST /v1/plan      — compute a reservation plan
 //	POST /v1/simulate  — compute a plan and Monte-Carlo-evaluate it
 //	GET  /healthz      — liveness probe
 //	GET  /debug/vars   — expvar-style JSON metrics
 //
-// Responses are cached in a bounded LRU keyed by a canonical
+// The wire DTOs live in repro/service/api; this package implements
+// them. Responses are cached in a bounded LRU keyed by a canonical
 // serialization of (distribution spec, cost model, strategy, options),
 // so a cache hit returns bytes identical to the miss that populated
 // it. Concurrent identical requests are coalesced through a
@@ -16,13 +19,16 @@
 // its result. The X-Cache response header reports which path served
 // the request (hit, miss, or coalesced); the body never varies.
 //
-// Plan computations run with Options.Workers = 1, i.e. inline, with
-// zero goroutines spawned on the internal/parallel pool; parallelism
-// comes from serving requests concurrently instead, bounded by a
-// semaphore of WorkerBudget slots. The pool's worker gauge
-// (workers_active / workers_peak in /debug/vars) therefore stays at
-// zero no matter the request load — the budget is visible as the
-// in_flight counter instead.
+// By default plan computations run with Options.Workers = 1, i.e.
+// inline, with zero goroutines spawned on the internal/parallel pool;
+// parallelism comes from serving requests concurrently instead,
+// bounded by a semaphore of WorkerBudget slots. The pool's worker
+// gauge (workers_active / workers_peak in /debug/vars) therefore
+// stays at zero no matter the request load — the budget is visible as
+// the in_flight counter instead. Setting Limits.BatchWindow enables
+// request batching: misses that share a planner (same cost model and
+// options, different specs) arriving within the window are flushed
+// together through one parallel.ForEach call (see batch.go).
 package service
 
 import (
@@ -35,26 +41,43 @@ import (
 	"repro"
 	"repro/internal/lru"
 	"repro/internal/parallel"
+	"repro/service/api"
 )
 
-// Default configuration values, used when the corresponding Config
+// Default configuration values, used when the corresponding config
 // field is unset.
 const (
 	DefaultCacheSize        = 256
 	DefaultPlannerCacheSize = 32
+	DefaultBatchLimit       = 16
 )
 
 // maxRequestBytes bounds how much of a request body the decoder reads.
 const maxRequestBytes = 1 << 20
 
-// Config tunes a Server. The zero value is usable: unset fields take
-// the documented defaults.
-type Config struct {
-	// CacheSize bounds the response cache, in entries (default 256).
-	CacheSize int
-	// PlannerCacheSize bounds how many Planners — one per distinct
-	// (cost model, options) pair — the server retains (default 32).
-	PlannerCacheSize int
+// CacheConfig bounds a Backend's two caches.
+type CacheConfig struct {
+	// Responses bounds the response byte cache, in entries
+	// (default 256).
+	Responses int
+	// Planners bounds how many Planners — one per distinct
+	// (cost model, options) pair — the backend retains (default 32).
+	Planners int
+}
+
+// withDefaults returns c with unset fields replaced by defaults.
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.Responses <= 0 {
+		c.Responses = DefaultCacheSize
+	}
+	if c.Planners <= 0 {
+		c.Planners = DefaultPlannerCacheSize
+	}
+	return c
+}
+
+// LimitsConfig bounds a Backend's computation resources.
+type LimitsConfig struct {
 	// RequestTimeout bounds each request's computation; zero means no
 	// timeout. A timed-out computation keeps running in the background
 	// and still populates the cache.
@@ -62,21 +85,64 @@ type Config struct {
 	// WorkerBudget caps the number of plan computations running at
 	// once (default GOMAXPROCS). Each computation is single-threaded
 	// (Options.Workers is forced to 1), so the budget is also a bound
-	// on the CPUs the server consumes.
+	// on the CPUs the backend consumes.
 	WorkerBudget int
+	// BatchWindow, when positive, enables request batching: a cache
+	// miss waits up to BatchWindow for other misses sharing its
+	// planner (identical cost model and options, any spec), and the
+	// group is computed in one parallel.ForEach flush. Zero (the
+	// default) computes every miss inline, immediately.
+	BatchWindow time.Duration
+	// BatchLimit caps the tasks per batch group; a full group flushes
+	// without waiting out the window (default 16).
+	BatchLimit int
+}
+
+// withDefaults returns c with unset fields replaced by defaults.
+func (c LimitsConfig) withDefaults() LimitsConfig {
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchLimit <= 0 {
+		c.BatchLimit = DefaultBatchLimit
+	}
+	return c
+}
+
+// Config tunes a Backend. The zero value is usable: unset fields take
+// the documented defaults.
+type Config struct {
+	// Cache bounds the response and planner caches.
+	Cache CacheConfig
+	// Limits bounds computation concurrency, per-request time, and
+	// batching.
+	Limits LimitsConfig
 	// Now supplies timestamps for the latency metrics; nil selects
 	// time.Now. Tests inject a fake clock here.
 	Now func() time.Time
 }
 
-// Server is the HTTP plan service. Construct with New; safe for
-// concurrent use.
-type Server struct {
+// withDefaults returns cfg with every unset field defaulted.
+func (c Config) withDefaults() Config {
+	c.Cache = c.Cache.withDefaults()
+	c.Limits = c.Limits.withDefaults()
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Backend is one plan-computing shard of the service: the HTTP handler
+// that owns the planner and response caches. Construct with New; safe
+// for concurrent use. A deployment is one or more Backends behind a
+// Frontend, or a single Backend serving directly.
+type Backend struct {
 	cfg        Config
 	mux        *http.ServeMux
 	planners   *lru.Cache[string, *repro.Planner]
 	cache      *lru.Cache[string, []byte]
 	flight     flightGroup
+	batch      *batcher
 	sem        chan struct{}
 	metrics    *metrics
 	strategies map[string]bool
@@ -87,58 +153,68 @@ type Server struct {
 	computeGate func(key string)
 }
 
-// New builds a Server from cfg, applying defaults for unset fields.
-func New(cfg Config) *Server {
-	if cfg.CacheSize <= 0 {
-		cfg.CacheSize = DefaultCacheSize
-	}
-	if cfg.PlannerCacheSize <= 0 {
-		cfg.PlannerCacheSize = DefaultPlannerCacheSize
-	}
-	if cfg.WorkerBudget <= 0 {
-		cfg.WorkerBudget = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Now == nil {
-		cfg.Now = time.Now
-	}
-	s := &Server{
+// New builds a Backend from cfg, applying defaults for unset fields.
+func New(cfg Config) *Backend {
+	cfg = cfg.withDefaults()
+	s := &Backend{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
-		planners:   lru.New[string, *repro.Planner](cfg.PlannerCacheSize),
-		cache:      lru.New[string, []byte](cfg.CacheSize),
-		sem:        make(chan struct{}, cfg.WorkerBudget),
+		planners:   lru.New[string, *repro.Planner](cfg.Cache.Planners),
+		cache:      lru.New[string, []byte](cfg.Cache.Responses),
+		sem:        make(chan struct{}, cfg.Limits.WorkerBudget),
 		strategies: make(map[string]bool),
 	}
 	for _, name := range repro.Strategies() {
 		s.strategies[name] = true
 	}
 	s.metrics = newMetrics(s.cache.Len)
-	s.mux.HandleFunc("/v1/plan", s.handlePlan)
-	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	if cfg.Limits.BatchWindow > 0 {
+		s.batch = newBatcher(cfg.Limits.BatchWindow, cfg.Limits.BatchLimit, s.runBatch)
+	}
+	s.mux.HandleFunc(api.PathPlan, s.handlePlan)
+	s.mux.HandleFunc(api.PathSimulate, s.handleSimulate)
+	s.mux.HandleFunc(api.PathHealthz, s.handleHealthz)
+	s.mux.HandleFunc(api.PathVars, s.handleVars)
 	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+func (s *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) now() time.Time { return s.cfg.Now() }
+func (s *Backend) now() time.Time { return s.cfg.Now() }
 
 // acquire takes one of the WorkerBudget computation slots.
-func (s *Server) acquire() { s.sem <- struct{}{} }
+func (s *Backend) acquire() { s.sem <- struct{}{} }
 
 // release returns a computation slot.
-func (s *Server) release() { <-s.sem }
+func (s *Backend) release() { <-s.sem }
+
+// runBatch executes one batch flush: the group's tasks computed
+// concurrently on the parallel pool, each still charged one worker
+// slot. Called by the batcher on its own goroutine.
+func (s *Backend) runBatch(tasks []*batchTask) {
+	s.metrics.batchFlushes.Add(1)
+	s.metrics.batchedTasks.Add(int64(len(tasks)))
+	workers := s.cfg.Limits.WorkerBudget
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	parallel.ForEach(len(tasks), workers, func(i int) {
+		s.acquire()
+		defer s.release()
+		body, err := tasks[i].compute()
+		tasks[i].done <- batchResult{body: body, err: err}
+	})
+}
 
 // handleHealthz implements GET /healthz.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Backend) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add("healthz", 1)
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		s.writeError(w, api.CodeMethodNotAllowed, "use GET")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -146,13 +222,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleVars implements GET /debug/vars. The metrics live in an
-// unregistered expvar.Map so that many Servers — e.g. in tests — can
-// coexist in one process without colliding in the global expvar
-// registry; expvar's own handler is therefore not used.
-func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+// unregistered expvar.Map so that many Backends — e.g. in tests or an
+// in-process fleet — can coexist in one process without colliding in
+// the global expvar registry; expvar's own handler is therefore not
+// used.
+func (s *Backend) handleVars(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add("vars", 1)
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		s.writeError(w, api.CodeMethodNotAllowed, "use GET")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -161,36 +238,40 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleNotFound is the catch-all route.
-func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+func (s *Backend) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add("other", 1)
-	s.writeError(w, http.StatusNotFound, "not_found",
+	s.writeError(w, api.CodeNotFound,
 		"unknown path "+r.URL.Path+"; endpoints are /v1/plan, /v1/simulate, /healthz, /debug/vars")
 }
 
-// metrics is the per-server expvar state. The map is deliberately NOT
+// metrics is the per-backend expvar state. The map is deliberately NOT
 // published to the global expvar registry (Publish panics on duplicate
-// names, and each Server owns its own counters).
+// names, and each Backend owns its own counters).
 type metrics struct {
-	vars        *expvar.Map
-	requests    *expvar.Map // request count per endpoint
-	errors      *expvar.Map // error count per code
-	latencyNS   *expvar.Map // cumulative handler nanoseconds per endpoint
-	cacheHits   *expvar.Int
-	cacheMisses *expvar.Int
-	coalesced   *expvar.Int // requests served by joining another's computation
-	inFlight    *expvar.Int
+	vars         *expvar.Map
+	requests     *expvar.Map // request count per endpoint
+	errors       *expvar.Map // error count per code
+	latencyNS    *expvar.Map // cumulative handler nanoseconds per endpoint
+	cacheHits    *expvar.Int
+	cacheMisses  *expvar.Int
+	coalesced    *expvar.Int // requests served by joining another's computation
+	inFlight     *expvar.Int
+	batchedTasks *expvar.Int // computations that went through a batch flush
+	batchFlushes *expvar.Int
 }
 
 func newMetrics(cacheLen func() int) *metrics {
 	m := &metrics{
-		vars:        new(expvar.Map).Init(),
-		requests:    new(expvar.Map).Init(),
-		errors:      new(expvar.Map).Init(),
-		latencyNS:   new(expvar.Map).Init(),
-		cacheHits:   new(expvar.Int),
-		cacheMisses: new(expvar.Int),
-		coalesced:   new(expvar.Int),
-		inFlight:    new(expvar.Int),
+		vars:         new(expvar.Map).Init(),
+		requests:     new(expvar.Map).Init(),
+		errors:       new(expvar.Map).Init(),
+		latencyNS:    new(expvar.Map).Init(),
+		cacheHits:    new(expvar.Int),
+		cacheMisses:  new(expvar.Int),
+		coalesced:    new(expvar.Int),
+		inFlight:     new(expvar.Int),
+		batchedTasks: new(expvar.Int),
+		batchFlushes: new(expvar.Int),
 	}
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("errors", m.errors)
@@ -199,6 +280,8 @@ func newMetrics(cacheLen func() int) *metrics {
 	m.vars.Set("cache_misses", m.cacheMisses)
 	m.vars.Set("coalesced", m.coalesced)
 	m.vars.Set("in_flight", m.inFlight)
+	m.vars.Set("batched_tasks", m.batchedTasks)
+	m.vars.Set("batch_flushes", m.batchFlushes)
 	m.vars.Set("cache_entries", expvar.Func(func() any { return cacheLen() }))
 	m.vars.Set("workers_active", expvar.Func(func() any { return parallel.ActiveWorkers() }))
 	m.vars.Set("workers_peak", expvar.Func(func() any { return parallel.PeakWorkers() }))

@@ -15,6 +15,7 @@ import (
 
 	"repro"
 	"repro/internal/parallel"
+	"repro/service/api"
 )
 
 // waitFor polls cond until it holds or a generous deadline passes.
@@ -43,7 +44,7 @@ func (c *fakeClock) Now() time.Time {
 	return c.t
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func newTestServer(t *testing.T, cfg Config) (*Backend, *httptest.Server) {
 	t.Helper()
 	s := New(cfg)
 	ts := httptest.NewServer(s)
@@ -68,7 +69,7 @@ func post(t *testing.T, url, body string) (int, string, []byte) {
 
 func errorCode(t *testing.T, body []byte) string {
 	t.Helper()
-	var e errorResponse
+	var e api.ErrorResponse
 	if err := json.Unmarshal(body, &e); err != nil {
 		t.Fatalf("error body is not structured JSON: %v\n%s", err, body)
 	}
@@ -90,7 +91,7 @@ func TestPlanEndpoint(t *testing.T) {
 	if status != http.StatusOK || cache != "miss" {
 		t.Fatalf("status %d, X-Cache %q\n%s", status, cache, body)
 	}
-	var resp planResponse
+	var resp api.PlanResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestSimulateEndpoint(t *testing.T) {
 	if status != http.StatusOK || cache != "miss" {
 		t.Fatalf("status %d, X-Cache %q\n%s", status, cache, first)
 	}
-	var resp simulateResponse
+	var resp api.SimulateResponse
 	if err := json.Unmarshal(first, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestSingleflightCollapsesConcurrentRequests(t *testing.T) {
 // yields a structured 504; the detached computation still populates
 // the cache for later requests.
 func TestRequestTimeout(t *testing.T) {
-	s, ts := newTestServer(t, Config{RequestTimeout: 20 * time.Millisecond})
+	s, ts := newTestServer(t, Config{Limits: LimitsConfig{RequestTimeout: 20 * time.Millisecond}})
 	release := make(chan struct{})
 	s.computeGate = func(string) { <-release }
 	body := `{"distribution": "exponential(2)", "cost_model": {"alpha": 1}, "options": {"grid_m": 150}}`
@@ -418,7 +419,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestCacheEviction: with a one-entry cache, a second distinct request
 // evicts the first, which then recomputes as a miss.
 func TestCacheEviction(t *testing.T) {
-	_, ts := newTestServer(t, Config{CacheSize: 1})
+	_, ts := newTestServer(t, Config{Cache: CacheConfig{Responses: 1}})
 	a := `{"distribution": "exp(1)", "cost_model": {"alpha": 1}, "strategy": "mean-doubling"}`
 	b := `{"distribution": "exp(2)", "cost_model": {"alpha": 1}, "strategy": "mean-doubling"}`
 	if _, cache, _ := post(t, ts.URL+"/v1/plan", a); cache != "miss" {
@@ -444,7 +445,7 @@ func TestCacheEviction(t *testing.T) {
 func TestStressConcurrentMixed(t *testing.T) {
 	parallel.ResetPeakWorkers()
 	basePeak := parallel.PeakWorkers()
-	s, ts := newTestServer(t, Config{WorkerBudget: 4})
+	s, ts := newTestServer(t, Config{Limits: LimitsConfig{WorkerBudget: 4}})
 
 	specs := []string{"exponential(1)", "uniform(10,20)", "lognormal(3,0.5)", "gamma(2,2)"}
 	strategies := []string{repro.StrategyMeanDoubling, repro.StrategyEqualProb, repro.StrategyBruteForce}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro"
+	"repro/client"
+	"repro/internal/dist"
+	"repro/service/api"
+)
+
+// warmupModels are the cost models of the warmup grid: the paper's
+// two platform models plus the hybrid pay-reserved-plus-usage model.
+func warmupModels() []api.CostModel {
+	reserved := repro.ReservationOnly
+	hpc := repro.NeuroHPC()
+	return []api.CostModel{
+		{Alpha: reserved.Alpha, Beta: reserved.Beta, Gamma: reserved.Gamma},
+		{Alpha: hpc.Alpha, Beta: hpc.Beta, Gamma: hpc.Gamma},
+		{Alpha: 1, Beta: 1, Gamma: 0},
+	}
+}
+
+// WarmupRequests returns the Table-1 warmup grid: the paper's nine
+// distributions crossed with three cost models, all with default
+// options and strategy. A fleet that warms this grid serves the whole
+// Table-1 workload from cache — the canonical specs here are exactly
+// the cache/routing keys the backends derive, so a warmed entry is a
+// guaranteed hit for any spelling of the same request.
+func WarmupRequests() []api.PlanRequest {
+	laws := dist.Table1()
+	models := warmupModels()
+	out := make([]api.PlanRequest, 0, len(laws)*len(models))
+	for _, d := range laws {
+		spec, err := repro.DistributionSpec(d)
+		if err != nil {
+			// Unreachable: every Table-1 law serializes.
+			continue
+		}
+		for _, m := range models {
+			out = append(out, api.PlanRequest{Distribution: spec, CostModel: m})
+		}
+	}
+	return out
+}
+
+// Warm drives the warmup grid through h — a Backend, or a Frontend
+// that routes each request to its home shard — so the fleet's caches
+// hold the Table-1 grid before real traffic arrives. It returns the
+// number of requests warmed and the first error, if any; requests
+// after an error are still attempted.
+func Warm(ctx context.Context, h http.Handler, reqs []api.PlanRequest) (int, error) {
+	c, err := client.New(client.Config{
+		BaseURL:    "http://warmup",
+		HTTPClient: &http.Client{Transport: client.HandlerTransport(h)},
+		MaxRetries: -1, // in-process: a failure will not heal by retrying
+	})
+	if err != nil {
+		return 0, err
+	}
+	warmed := 0
+	var firstErr error
+	for _, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		if _, err := c.Plan(ctx, req); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("warming %q: %w", req.Distribution, err)
+			}
+			continue
+		}
+		warmed++
+	}
+	return warmed, firstErr
+}

@@ -1,0 +1,201 @@
+// Package tenant implements weighted fair-share admission control for
+// the plan service frontend. Each tenant owns a token bucket refilled
+// at a rate proportional to its weight: with total rate R requests/sec
+// and weights w_i, tenant i refills at R·w_i/Σw. A request is admitted
+// when the tenant's bucket holds at least one token; otherwise the
+// caller gets a structured rejection with the exact wait until the
+// next token, which the frontend surfaces as a 429 with Retry-After.
+//
+// Heavy tenants therefore cannot starve light ones: however fast
+// tenant A submits, tenant B's bucket keeps refilling at its own
+// share. Unknown tenants (including the empty name) share one default
+// bucket at DefaultWeight so anonymous traffic is bounded too.
+//
+// All timing flows through an injectable clock, so fairness properties
+// are pinned by deterministic tests rather than sleeps.
+package tenant
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultWeight is the weight assumed for tenants absent from the
+// weight table, and for requests with no tenant header.
+const DefaultWeight = 1.0
+
+// DefaultBurst is the bucket capacity multiplier: a tenant can burst
+// up to DefaultBurst seconds' worth of its refill rate.
+const DefaultBurst = 2.0
+
+// Config tunes a Limiter.
+type Config struct {
+	// Rate is the total admission rate across all tenants, in
+	// requests per second. Zero or negative disables admission
+	// control: every request is admitted.
+	Rate float64
+	// Weights maps tenant name to relative weight. Tenants not listed
+	// get DefaultWeight. Non-positive weights are rejected by New.
+	Weights map[string]float64
+	// BurstSeconds is how many seconds of a tenant's refill rate its
+	// bucket can hold (default DefaultBurst). Larger values tolerate
+	// burstier arrivals at the same long-run rate.
+	BurstSeconds float64
+	// Now supplies the clock (default: the time.Now function).
+	Now func() time.Time
+}
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	// OK reports whether the request was admitted (a token was spent).
+	OK bool
+	// RetryAfter is how long until the tenant's next token when OK is
+	// false; zero when OK is true.
+	RetryAfter time.Duration
+	// Tenant is the bucket the decision was charged to — the request's
+	// tenant name, or "" for the shared default bucket.
+	Tenant string
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64   // current tokens, <= cap
+	last   time.Time // last refill instant
+	rate   float64   // tokens per second
+	cap    float64   // max tokens
+}
+
+// Limiter is a weighted fair-share admission controller. Construct
+// with New; safe for concurrent use.
+type Limiter struct {
+	cfg Config
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// admitted / rejected counters per tenant, for metrics.
+	admitted map[string]uint64
+	rejected map[string]uint64
+}
+
+// New builds a Limiter. The per-tenant refill rates are fixed at
+// construction from cfg.Rate and cfg.Weights.
+func New(cfg Config) (*Limiter, error) {
+	for name, w := range cfg.Weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("tenant: weight for %q must be positive, got %g", name, w)
+		}
+	}
+	if cfg.BurstSeconds <= 0 {
+		cfg.BurstSeconds = DefaultBurst
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Limiter{
+		cfg:      cfg,
+		buckets:  make(map[string]*bucket),
+		admitted: make(map[string]uint64),
+		rejected: make(map[string]uint64),
+	}, nil
+}
+
+// Enabled reports whether admission control is active.
+func (l *Limiter) Enabled() bool { return l.cfg.Rate > 0 }
+
+// weightSum returns the sum of all configured weights plus
+// DefaultWeight for the shared default bucket, which always exists.
+func (l *Limiter) weightSum() float64 {
+	sum := DefaultWeight
+	for _, w := range l.cfg.Weights {
+		sum += w
+	}
+	return sum
+}
+
+// rateFor returns tenant's refill rate: Rate · w / Σw. Tenants outside
+// the weight table share the default bucket, so their name maps to "".
+func (l *Limiter) rateFor(name string) (string, float64) {
+	w, ok := l.cfg.Weights[name]
+	if !ok {
+		return "", DefaultWeight * l.cfg.Rate / l.weightSum()
+	}
+	return name, w * l.cfg.Rate / l.weightSum()
+}
+
+// Admit charges one request to the named tenant's bucket and reports
+// whether it was admitted. When not, Decision.RetryAfter is the time
+// until the bucket next holds a full token.
+func (l *Limiter) Admit(name string) Decision {
+	if !l.Enabled() {
+		return Decision{OK: true, Tenant: name}
+	}
+	key, rate := l.rateFor(name)
+	now := l.cfg.Now()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		// A new bucket starts full, so the first burst is admitted.
+		b = &bucket{tokens: rate * l.cfg.BurstSeconds, last: now, rate: rate, cap: rate * l.cfg.BurstSeconds}
+		if b.cap < 1 {
+			// Even a tiny share can always eventually admit one request.
+			b.cap = 1
+			b.tokens = 1
+		}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.cap {
+			b.tokens = b.cap
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.admitted[key]++
+		return Decision{OK: true, Tenant: key}
+	}
+	l.rejected[key]++
+	need := 1 - b.tokens
+	retry := time.Duration(need / b.rate * float64(time.Second))
+	if retry <= 0 {
+		retry = time.Millisecond
+	}
+	return Decision{OK: false, RetryAfter: retry, Tenant: key}
+}
+
+// Counts returns the cumulative admitted and rejected request counts
+// per bucket, with tenant names sorted (the default bucket is "").
+type Counts struct {
+	Tenant   string
+	Admitted uint64
+	Rejected uint64
+}
+
+// Snapshot returns per-bucket admission counters in sorted tenant
+// order.
+func (l *Limiter) Snapshot() []Counts {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make(map[string]bool)
+	for n := range l.admitted {
+		names[n] = true
+	}
+	for n := range l.rejected {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	out := make([]Counts, 0, len(ordered))
+	for _, n := range ordered {
+		out = append(out, Counts{Tenant: n, Admitted: l.admitted[n], Rejected: l.rejected[n]})
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package tenant
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic manual clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func mustLimiter(t *testing.T, cfg Config) *Limiter {
+	t.Helper()
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewRejectsBadWeights(t *testing.T) {
+	for _, w := range []float64{0, -1} {
+		if _, err := New(Config{Rate: 10, Weights: map[string]float64{"a": w}}); err == nil {
+			t.Errorf("weight %g accepted", w)
+		}
+	}
+}
+
+func TestDisabledAdmitsEverything(t *testing.T) {
+	l := mustLimiter(t, Config{Rate: 0})
+	for i := 0; i < 1000; i++ {
+		if d := l.Admit("anyone"); !d.OK {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+	if l.Enabled() {
+		t.Error("Enabled() with Rate=0")
+	}
+}
+
+// TestProportionalShares: over a long window, each tenant's admitted
+// count approaches Rate·w_i/Σw regardless of demand.
+func TestProportionalShares(t *testing.T) {
+	clock := newFakeClock()
+	l := mustLimiter(t, Config{
+		Rate:    10, // req/s total
+		Weights: map[string]float64{"heavy": 3, "light": 1},
+		Now:     clock.Now,
+	})
+	admitted := map[string]int{}
+	// Both tenants over-demand: 100 requests each per simulated second,
+	// for 50 seconds.
+	for step := 0; step < 5000; step++ {
+		for _, tn := range []string{"heavy", "light"} {
+			if l.Admit(tn).OK {
+				admitted[tn]++
+			}
+		}
+		clock.Advance(10 * time.Millisecond)
+	}
+	// Σw = 3 + 1 + 1 (default) = 5; heavy gets 10·3/5 = 6/s, light 2/s.
+	// 50 s window → ~300 and ~100 (plus the initial burst allowance).
+	if got := admitted["heavy"]; got < 280 || got > 330 {
+		t.Errorf("heavy admitted %d, want ~300", got)
+	}
+	if got := admitted["light"]; got < 90 || got > 115 {
+		t.Errorf("light admitted %d, want ~100", got)
+	}
+}
+
+// TestHeavyTenantCannotStarveLight: a tenant hammering the service
+// does not reduce another tenant's admitted throughput below its
+// share.
+func TestHeavyTenantCannotStarveLight(t *testing.T) {
+	clock := newFakeClock()
+	l := mustLimiter(t, Config{
+		Rate:    8,
+		Weights: map[string]float64{"bully": 1, "victim": 1},
+		Now:     clock.Now,
+	})
+	victimAdmitted := 0
+	for step := 0; step < 3000; step++ {
+		// The bully issues 50 requests per tick; the victim exactly one
+		// every 3 ticks (well under its fair share).
+		for i := 0; i < 50; i++ {
+			l.Admit("bully")
+		}
+		if step%3 == 0 {
+			if l.Admit("victim").OK {
+				victimAdmitted++
+			}
+		}
+		clock.Advance(10 * time.Millisecond)
+	}
+	// Σw = 3, victim's share = 8/3 ≈ 2.67/s over 30 s ≈ 80 tokens; the
+	// victim only asks for ~1000/3/10 ≈ 33/s... actually 1 per 30ms ≈
+	// 33/s > share, so it is limited to its share, not starved to zero.
+	// Victim demand: 1000 requests over 30 s (≈33/s), share ≈ 2.67/s →
+	// expect ≈ 80 admitted. Starvation would show near-zero.
+	if victimAdmitted < 70 {
+		t.Errorf("victim admitted %d of 1000; starved despite fair share", victimAdmitted)
+	}
+}
+
+// TestRetryAfterIsExact: a rejected request reports the precise wait
+// until the next token, and admitting after exactly that wait works.
+func TestRetryAfterIsExact(t *testing.T) {
+	clock := newFakeClock()
+	l := mustLimiter(t, Config{
+		Rate:         2,
+		Weights:      map[string]float64{"t": 1},
+		BurstSeconds: 1,
+		Now:          clock.Now,
+	})
+	// Σw = 2, rate for t = 1/s, burst cap = 1 token.
+	if d := l.Admit("t"); !d.OK {
+		t.Fatal("first request should use the initial burst")
+	}
+	d := l.Admit("t")
+	if d.OK {
+		t.Fatal("second immediate request should be rejected")
+	}
+	if d.RetryAfter <= 0 || d.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s]", d.RetryAfter)
+	}
+	clock.Advance(d.RetryAfter)
+	if d2 := l.Admit("t"); !d2.OK {
+		t.Errorf("request after RetryAfter=%v still rejected (RetryAfter now %v)", d.RetryAfter, d2.RetryAfter)
+	}
+}
+
+// TestUnknownTenantsShareDefaultBucket: anonymous and unlisted tenants
+// compete for one default-weight bucket rather than each minting a
+// fresh quota.
+func TestUnknownTenantsShareDefaultBucket(t *testing.T) {
+	clock := newFakeClock()
+	l := mustLimiter(t, Config{
+		Rate:         5,
+		Weights:      map[string]float64{"known": 4},
+		BurstSeconds: 1,
+		Now:          clock.Now,
+	})
+	// Σw = 5, default bucket rate = 1/s, cap = 1.
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if l.Admit(fmt.Sprintf("anon-%d", i)).OK {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Errorf("10 distinct unknown tenants got %d admissions from the shared bucket, want 1", admitted)
+	}
+	// The known tenant is unaffected.
+	if !l.Admit("known").OK {
+		t.Error("known tenant rejected while default bucket exhausted")
+	}
+}
+
+// TestBurstCapBounds: idling does not accumulate unbounded credit.
+func TestBurstCapBounds(t *testing.T) {
+	clock := newFakeClock()
+	l := mustLimiter(t, Config{
+		Rate:         2,
+		Weights:      map[string]float64{"t": 1},
+		BurstSeconds: 2,
+		Now:          clock.Now,
+	})
+	// rate = 1/s, cap = 2 tokens. Idle for an hour, then burst.
+	l.Admit("t")
+	clock.Advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if l.Admit("t").OK {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Errorf("after long idle, burst admitted %d, want cap 2", admitted)
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	clock := newFakeClock()
+	l := mustLimiter(t, Config{
+		Rate:         2,
+		Weights:      map[string]float64{"b": 1, "a": 1},
+		BurstSeconds: 1,
+		Now:          clock.Now,
+	})
+	l.Admit("a")
+	l.Admit("a") // rejected: cap 0.5 → min cap 1, spent by first
+	l.Admit("b")
+	l.Admit("") // default bucket
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %+v, want 3 buckets", snap)
+	}
+	// Sorted: "", "a", "b".
+	if snap[0].Tenant != "" || snap[1].Tenant != "a" || snap[2].Tenant != "b" {
+		t.Errorf("snapshot order = %+v", snap)
+	}
+	if snap[1].Admitted != 1 || snap[1].Rejected != 1 {
+		t.Errorf("tenant a counts = %+v", snap[1])
+	}
+}
+
+// TestConcurrentAdmitRace exercises the limiter under parallel load so
+// -race can see it; token conservation still holds.
+func TestConcurrentAdmitRace(t *testing.T) {
+	clock := newFakeClock()
+	l := mustLimiter(t, Config{
+		Rate:         100,
+		Weights:      map[string]float64{"t": 1},
+		BurstSeconds: 1,
+		Now:          clock.Now,
+	})
+	// rate for t = 50/s, cap = 50 tokens; clock frozen → exactly the
+	// initial burst can be admitted, no matter the interleaving.
+	var wg sync.WaitGroup
+	var admitted sync.Map
+	counts := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if l.Admit("t").OK {
+					counts[g]++
+				}
+			}
+			admitted.Store(g, counts[g])
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 50 {
+		t.Errorf("frozen-clock burst admitted %d, want exactly 50", total)
+	}
+}

@@ -17,10 +17,15 @@
 #   6. go test -race over the concurrency substrate: the parallel
 #      worker pool, the simulators that fan out onto it (including the
 #      cluster simulator's parallel workload generation), the core
-#      package whose shared-cursor scoring runs on worker blocks, and
-#      the DP package whose verify/fallback switches are process-wide
-#      atomics exercised from concurrent solves.
-#   7. fuzz smoke — a few seconds of the cluster ledger/backfill fuzz
+#      package whose shared-cursor scoring runs on worker blocks, the
+#      DP package whose verify/fallback switches are process-wide
+#      atomics exercised from concurrent solves, and the serving tier
+#      (service backend/frontend, shard ring, tenant limiter, client).
+#   7. loadgen smoke — a one-to-two-second in-process fleet run
+#      (cmd/loadgen -smoke) asserting the sharded serving invariants:
+#      cold misses == unique specs (deterministic routing) and a
+#      warmed Table-1 fleet serves at a 100% hit ratio.
+#   8. fuzz smoke — a few seconds of the cluster ledger/backfill fuzz
 #      targets on top of their committed corpora (testdata/fuzz), so a
 #      freshly broken invariant is found here, not in a nightly.
 #
@@ -60,7 +65,10 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency substrate)"
-go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/cluster/... ./internal/lru/... ./internal/service/... ./internal/core/... ./internal/dp/...
+go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesim/... ./internal/cluster/... ./internal/lru/... ./internal/service/... ./internal/core/... ./internal/dp/... ./internal/shard/... ./internal/tenant/... ./client/...
+
+echo "== loadgen smoke (sharded serving invariants)"
+go run ./cmd/loadgen -smoke
 
 echo "== fuzz smoke (cluster ledger + backfill)"
 go test -run '^$' -fuzz '^FuzzLedger$' -fuzztime 3s ./internal/cluster/

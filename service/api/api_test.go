@@ -1,0 +1,161 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// fullPlanRequest populates every PlanRequest field with a non-zero
+// value so round trips exercise the whole schema.
+func fullPlanRequest() PlanRequest {
+	return PlanRequest{
+		Distribution: "lognormal(3,0.5)",
+		CostModel:    CostModel{Alpha: 0.95, Beta: 1, Gamma: 1.05},
+		Strategy:     "equal-probability",
+		Options: Options{
+			GridM: 100, SamplesN: 200, DiscN: 300, Epsilon: 1e-6,
+			Seed: 7, MonteCarlo: true, PreviewLen: 4, MaxAttempts: 9,
+		},
+	}
+}
+
+func fullPlanSummary() repro.PlanSummary {
+	var s repro.PlanSummary
+	s.Strategy = "brute-force"
+	s.Distribution = "exponential(1)"
+	s.CostModel.Alpha = 1
+	s.CostModel.Beta = 0.5
+	s.CostModel.Gamma = 0.25
+	s.Reservations = []float64{0.5, 1.25, 3}
+	s.ExpectedCost = 1.5
+	s.NormalizedCost = 1.2
+	return s
+}
+
+// roundTrip marshals v, unmarshals the bytes into a fresh value of the
+// same type, and requires exact equality.
+func roundTrip(t *testing.T, v any) {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v))
+	dec := json.NewDecoder(strings.NewReader(string(blob)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out.Interface()); err != nil {
+		t.Fatalf("strict decode %T: %v\n%s", v, err, blob)
+	}
+	if got := out.Elem().Interface(); !reflect.DeepEqual(got, v) {
+		t.Errorf("%T round trip:\n in  %+v\n out %+v", v, v, got)
+	}
+}
+
+// TestRoundTripAllDTOs: every wire type survives an encode/decode
+// round trip with all fields populated, and the strict decoder accepts
+// exactly the fields the encoder emits (no hidden or mismatched tags).
+func TestRoundTripAllDTOs(t *testing.T) {
+	roundTrip(t, fullPlanRequest())
+	roundTrip(t, SimulateRequest{PlanRequest: fullPlanRequest(), Samples: 123, SimSeed: 42})
+	roundTrip(t, PlanResponse{
+		Plan:          fullPlanSummary(),
+		CanonicalSpec: "exponential(1)",
+		Stats: &PlanStats{
+			ExpectedAttempts: 1.5, ExpectedReserved: 2.5, ExpectedUsed: 2, Utilization: 0.8,
+		},
+	})
+	roundTrip(t, SimulateResponse{
+		Plan:          fullPlanSummary(),
+		CanonicalSpec: "exponential(1)",
+		Samples:       400, SimSeed: 9,
+		NormalizedCost: 1.3, StdErr: 0.01,
+	})
+	var er ErrorResponse
+	er.Error = ErrorBody{Code: CodeOverQuota, Message: "tenant over quota", RetryAfterSeconds: 1.5}
+	roundTrip(t, er)
+}
+
+// TestRoundTripZeroValues: omitempty fields drop cleanly and decode
+// back to the zero value.
+func TestRoundTripZeroValues(t *testing.T) {
+	roundTrip(t, PlanRequest{Distribution: "exp(1)", CostModel: CostModel{Alpha: 1}})
+	roundTrip(t, PlanResponse{Plan: fullPlanSummary()})
+	roundTrip(t, ErrorResponse{Error: ErrorBody{Code: CodeBadRequest, Message: "m"}})
+
+	blob, err := json.Marshal(PlanRequest{Distribution: "exp(1)", CostModel: CostModel{Alpha: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The options object is empty, so it must not appear at all.
+	if strings.Contains(string(blob), "grid_m") || strings.Contains(string(blob), "strategy") {
+		t.Errorf("zero-value fields leaked into the wire form: %s", blob)
+	}
+}
+
+// TestFieldNamesAreStable pins the v1 JSON field names: renaming any of
+// these is a wire-format break, not a refactor.
+func TestFieldNamesAreStable(t *testing.T) {
+	blob, err := json.Marshal(SimulateRequest{PlanRequest: fullPlanRequest(), Samples: 1, SimSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"distribution"`, `"cost_model"`, `"alpha"`, `"beta"`, `"gamma"`,
+		`"strategy"`, `"options"`, `"grid_m"`, `"samples_n"`, `"disc_n"`,
+		`"epsilon"`, `"seed"`, `"monte_carlo"`, `"preview_len"`,
+		`"max_attempts"`, `"samples"`, `"sim_seed"`,
+	} {
+		if !strings.Contains(string(blob), field) {
+			t.Errorf("wire form missing %s:\n%s", field, blob)
+		}
+	}
+	resp, err := json.Marshal(PlanResponse{Plan: fullPlanSummary(), CanonicalSpec: "x",
+		Stats: &PlanStats{ExpectedAttempts: 1, ExpectedReserved: 1, ExpectedUsed: 1, Utilization: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"plan"`, `"canonical_spec"`, `"stats"`, `"expected_attempts"`,
+		`"expected_reserved"`, `"expected_used"`, `"utilization"`,
+	} {
+		if !strings.Contains(string(resp), field) {
+			t.Errorf("response wire form missing %s:\n%s", field, resp)
+		}
+	}
+}
+
+// TestCodeTable: every code maps to a sensible HTTP status, the table
+// is sorted and complete, and unknown codes degrade to 500.
+func TestCodeTable(t *testing.T) {
+	want := map[string]int{
+		CodeBadRequest:       http.StatusBadRequest,
+		CodeMethodNotAllowed: http.StatusMethodNotAllowed,
+		CodeNotFound:         http.StatusNotFound,
+		CodePlanFailed:       http.StatusInternalServerError,
+		CodeTimeout:          http.StatusGatewayTimeout,
+		CodeCanceled:         http.StatusServiceUnavailable,
+		CodeOverQuota:        http.StatusTooManyRequests,
+		CodeUnavailable:      http.StatusBadGateway,
+	}
+	codes := Codes()
+	if !sort.StringsAreSorted(codes) {
+		t.Errorf("Codes() not sorted: %v", codes)
+	}
+	if len(codes) != len(want) {
+		t.Errorf("Codes() = %v, want the %d documented codes", codes, len(want))
+	}
+	for code, status := range want {
+		if got := Status(code); got != status {
+			t.Errorf("Status(%s) = %d, want %d", code, got, status)
+		}
+	}
+	if got := Status("no_such_code"); got != http.StatusInternalServerError {
+		t.Errorf("Status(unknown) = %d, want 500", got)
+	}
+}

@@ -19,7 +19,7 @@ const benchPlanBody = `{"distribution": "lognormal(3,0.5)", "cost_model": {"alph
 
 func benchServer(b *testing.B) *httptest.Server {
 	b.Helper()
-	ts := httptest.NewServer(service.New(service.Config{CacheSize: 1 << 16}))
+	ts := httptest.NewServer(service.New(service.Config{Cache: service.CacheConfig{Responses: 1 << 16}}))
 	b.Cleanup(ts.Close)
 	return ts
 }
