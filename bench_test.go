@@ -669,40 +669,109 @@ func BenchmarkOnlineLearner(b *testing.B) {
 	}
 }
 
-// BenchmarkClusterSim measures the fleet simulator end to end — event
-// heap, ledger, EASY backfill, and the streaming trace hash — on
-// pre-generated workloads of 10k and 100k multi-attempt jobs (the
-// generation itself is deterministic and excluded from the timing).
-func BenchmarkClusterSim(b *testing.B) {
+// clusterBenchWorkload is the shared fleet-simulator benchmark
+// scenario: Weibull(1,0.5) runtimes, a three-quantile reservation
+// policy, and 64 capacity slots under EASY backfill at ~70% offered
+// load.
+func clusterBenchWorkload(n int) (cluster.WorkloadSpec, cluster.Config) {
 	law := dist.MustWeibull(1, 0.5)
 	policy := []float64{law.Quantile(0.5), law.Quantile(0.9), law.Quantile(0.999)}
+	spec := cluster.WorkloadSpec{
+		Seed: 42, Jobs: n,
+		ArrivalRate: 0.7 * 64 / (law.Mean() * 1.5),
+		Classes: []cluster.JobClass{{
+			Name: "weibull", Runtime: law, Weight: 1,
+			MinWidth: 1, MaxWidth: 2, Policy: policy,
+		}},
+	}
 	cfg := cluster.Config{
 		Nodes:    []int{16, 16, 16, 16},
 		Tenants:  []cluster.Tenant{{Name: "fleet", Budget: math.Inf(1)}},
 		Backfill: cluster.BackfillEASY,
 		Model:    core.CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1},
 	}
-	for _, n := range []int{10_000, 100_000} {
-		spec := cluster.WorkloadSpec{
-			Seed: 42, Jobs: n,
-			ArrivalRate: 0.7 * 64 / (law.Mean() * 1.5),
-			Classes: []cluster.JobClass{{
-				Name: "weibull", Runtime: law, Weight: 1,
-				MinWidth: 1, MaxWidth: 2, Policy: policy,
-			}},
-		}
-		jobs, err := cluster.GenerateJobs(spec, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Run(fmt.Sprintf("%dk", n/1000), func(b *testing.B) {
+	return spec, cfg
+}
+
+func clusterBenchName(n int) string {
+	if n >= 1_000_000 {
+		return fmt.Sprintf("%dM", n/1_000_000)
+	}
+	return fmt.Sprintf("%dk", n/1000)
+}
+
+// BenchmarkClusterSim measures the fleet simulator end to end — chunked
+// streaming generation, the calendar-queue event core, ledger, EASY
+// backfill, batched trace hashing, and the constant-memory statistics
+// sink — at 10k, 100k, and 1M multi-attempt jobs. Compare against
+// BenchmarkClusterSimHeap, the pre-scaling mechanics, on the same
+// workload.
+func BenchmarkClusterSim(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		spec, cfg := clusterBenchWorkload(n)
+		b.Run(clusterBenchName(n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				run := cfg
-				run.Recorder = cluster.NewTraceHash()
-				if _, err := cluster.Simulate(run, jobs); err != nil {
+				if _, err := cluster.RunStream(spec, cfg, 0, false); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkClusterSimHeap is the reference baseline for the scaling
+// work: binary-heap event queue, fully buffered generation and results,
+// per-event recorder dispatch, and the buffered Summarize — exactly the
+// mechanics BenchmarkClusterSim ran before the calendar/streaming
+// engine. The trace is bit-identical across the two (the engine parity
+// tests pin it); only the speed differs.
+func BenchmarkClusterSimHeap(b *testing.B) {
+	for _, n := range []int{1_000_000} {
+		spec, cfg := clusterBenchWorkload(n)
+		cfg.Engine = cluster.EngineHeap
+		b.Run(clusterBenchName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				jobs, err := cluster.GenerateJobs(spec, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run := cfg
+				run.Recorder = cluster.NewTraceHash()
+				res, err := cluster.Simulate(run, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cluster.Summarize(run, res)
+			}
+		})
+	}
+}
+
+// BenchmarkClusterSweep measures the parallel scenario sweep: a
+// (2 strategies × 2 shapes × 2 replicates) matrix of 25k-job streaming
+// runs fanned across all cores with a deterministic merge.
+func BenchmarkClusterSweep(b *testing.B) {
+	spec, cfg := clusterBenchWorkload(25_000)
+	law := dist.MustWeibull(1, 0.5)
+	sweep := cluster.SweepSpec{
+		Workload: spec,
+		Strategies: []cluster.SweepStrategy{
+			{Name: "q50", Policy: []float64{law.Quantile(0.5), law.Quantile(0.9), law.Quantile(0.999)}},
+			{Name: "q90", Policy: []float64{law.Quantile(0.9), law.Quantile(0.999)}},
+		},
+		Shapes: []cluster.SweepShape{
+			{Name: "16x4", Nodes: cfg.Nodes},
+			{Name: "64x1", Nodes: cluster.UnitNodes(64)},
+		},
+		Replicates: 2,
+		Base:       cfg,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.RunSweep(sweep, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

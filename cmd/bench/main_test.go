@@ -176,6 +176,9 @@ func TestCompareAgainstCommittedBaseline(t *testing.T) {
 		"BenchmarkDPSolveBudget/fast/n=4096/k=8",
 		"BenchmarkDPSolveBudget/scan/n=4096/k=8",
 		"BenchmarkBatchedScoring/monte-carlo/batched",
+		"BenchmarkClusterSim/1M",
+		"BenchmarkClusterSimHeap/1M",
+		"BenchmarkClusterSweep",
 	} {
 		if _, ok := byName[want]; !ok {
 			t.Errorf("committed BENCH.json missing %s (regenerate with scripts/bench.sh)", want)
@@ -190,6 +193,18 @@ func TestCompareAgainstCommittedBaseline(t *testing.T) {
 	if !(fast.NsPerOp > 0) || scan.NsPerOp/fast.NsPerOp < 5 {
 		t.Errorf("BENCH.json DP speedup at n=4096 is %.1fx (scan %.0f / fast %.0f ns/op), want >= 5x",
 			scan.NsPerOp/fast.NsPerOp, scan.NsPerOp, fast.NsPerOp)
+	}
+	// The streaming calendar engine must document a ≥4× speedup over
+	// the buffered heap baseline at 1M jobs, without gaining
+	// allocations — the committed numbers are the scaling contract.
+	cal, heap := byName["BenchmarkClusterSim/1M"], byName["BenchmarkClusterSimHeap/1M"]
+	if !(cal.NsPerOp > 0) || heap.NsPerOp/cal.NsPerOp < 4 {
+		t.Errorf("BENCH.json cluster-sim speedup at 1M jobs is %.1fx (heap %.0f / calendar %.0f ns/op), want >= 4x",
+			heap.NsPerOp/cal.NsPerOp, heap.NsPerOp, cal.NsPerOp)
+	}
+	if cal.AllocsPerOp > heap.AllocsPerOp {
+		t.Errorf("streaming engine allocates more than the buffered baseline: %.0f vs %.0f allocs/op",
+			cal.AllocsPerOp, heap.AllocsPerOp)
 	}
 
 	if _, regressed := compareReports(baseline, baseline, compareTolerance); regressed {

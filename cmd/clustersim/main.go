@@ -9,26 +9,39 @@
 //	clustersim -dist "weibull(1,0.5)" -jobs 1000000 -backfill conservative
 //	clustersim -strategies mean-stdev,equal-prob -check
 //	clustersim -quota 8 -budget 1e6        # metered tenant under pressure
+//	clustersim -sweep -jobs 10000000 -replicates 4 -shapes 16x4,64x1
+//
+// Runs stream: the workload is generated chunk by chunk alongside the
+// event loop and summarized by constant-memory accumulators, so -jobs
+// 10000000 needs only the in-flight window. -sweep fans a (strategy ×
+// shape × replicate) matrix across -workers goroutines and merges each
+// group's replicates deterministically.
 //
 // Every run is deterministic in -seed (and independent of -workers);
 // the trace-hash column is the proof — equal hashes mean bit-identical
 // event traces. Pass -check to stream the full trace through the
 // invariant checker (capacity conservation, budget/quota accounting,
 // job lifecycle); any violation aborts the run. Results are printed
-// and, with -out DIR, also written as CSV.
+// and, with -out DIR, also written as CSV. -smoke runs the built-in
+// determinism and sketch-accuracy gate used by scripts/check.sh.
 package main
 
 import (
+	"bufio"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/tablefmt"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,14 +60,27 @@ func main() {
 		preempt    = flag.Float64("preempt", 0, "preempt backfilled jobs blocking a job waiting longer than this (0 = off)")
 		budget     = flag.Float64("budget", 0, "tenant budget (0 = unmetered)")
 		quota      = flag.Int("quota", 0, "tenant node quota (0 = unlimited)")
+		workersF   = flag.Int("workers", 0, "generation/sweep workers (0 = all cores); never changes the result")
+		check      = flag.Bool("check", false, "stream every trace through the invariant checker")
+		outDir     = flag.String("out", "", "also write CSV results into this directory")
 		alpha      = flag.Float64("alpha", 1, "cost model: per-second reservation price")
 		beta       = flag.Float64("beta", 0.5, "cost model: per-second usage price")
 		gamma      = flag.Float64("gamma", 0.1, "cost model: per-attempt price")
-		workers    = flag.Int("workers", 0, "generation workers (0 = all cores); never changes the result")
-		check      = flag.Bool("check", false, "stream every trace through the invariant checker")
-		outDir     = flag.String("out", "", "also write CSV results into this directory")
+		sweepF     = flag.Bool("sweep", false, "run the (strategy × shape × replicate) sweep matrix")
+		replicates = flag.Int("replicates", 3, "seeded replicates per sweep cell")
+		shapes     = flag.String("shapes", "", "comma-separated sweep shapes as NODESxCAP (default: the -nodes/-cap shape)")
+		smoke      = flag.Bool("smoke", false, "run the determinism and sketch-accuracy smoke gate, then exit")
 	)
 	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("clustersim smoke: ok")
+		return
+	}
 
 	opt := options{
 		DistSpec:    *distSpec,
@@ -72,8 +98,28 @@ func main() {
 		Budget:      *budget,
 		Quota:       *quota,
 		Model:       repro.CostModel{Alpha: *alpha, Beta: *beta, Gamma: *gamma},
-		Workers:     *workers,
+		Workers:     *workersF,
 		Check:       *check,
+		Replicates:  *replicates,
+		Shapes:      *shapes,
+	}
+	if *sweepF {
+		table, result, err := sweep(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("sweep hash: %016x (%d cells)\n", result.Hash, len(result.Cells))
+		if *outDir != "" {
+			path, err := writeSweepCSV(*outDir, result)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "clustersim:", err)
+				os.Exit(1)
+			}
+			fmt.Println("csv written to", path)
+		}
+		return
 	}
 	table, err := compare(opt)
 	if err != nil {
@@ -111,6 +157,8 @@ type options struct {
 	Model       repro.CostModel
 	Workers     int
 	Check       bool
+	Replicates  int
+	Shapes      string
 }
 
 func splitStrategies(s string) []string {
@@ -138,11 +186,68 @@ func parseBackfill(s string) (cluster.BackfillPolicy, error) {
 	return 0, fmt.Errorf("unknown backfill policy %q (want none, easy, or conservative)", s)
 }
 
-// compare runs the same seeded workload under every requested strategy
-// and tabulates the outcomes. The generated jobs are identical across
-// strategies — only the per-job reservation policy differs — so the
-// columns are directly comparable.
-func compare(opt options) (*tablefmt.Table, error) {
+// parseShapes decodes a comma-separated list of NODESxCAP cluster
+// shapes; empty selects the single default shape.
+func parseShapes(s string, defNodes, defCap int) ([]cluster.SweepShape, error) {
+	if strings.TrimSpace(s) == "" {
+		return []cluster.SweepShape{{
+			Name:  fmt.Sprintf("%dx%d", defNodes, defCap),
+			Nodes: fleetNodes(defNodes, defCap),
+		}}, nil
+	}
+	var out []cluster.SweepShape
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi, ok := strings.Cut(strings.ToLower(part), "x")
+		if !ok {
+			return nil, fmt.Errorf("shape %q is not NODESxCAP", part)
+		}
+		n, err1 := strconv.Atoi(lo)
+		c, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || n < 1 || c < 1 {
+			return nil, fmt.Errorf("shape %q is not NODESxCAP with positive integers", part)
+		}
+		out = append(out, cluster.SweepShape{Name: part, Nodes: fleetNodes(n, c)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shapes in %q", s)
+	}
+	return out, nil
+}
+
+// scenario is the validated, derived form of options shared by the
+// single-shape comparison and the sweep.
+type scenario struct {
+	dist     repro.Distribution
+	planner  *repro.Planner
+	policies [][]float64 // parallel to options.Strategies
+	rate     float64
+	backfill cluster.BackfillPolicy
+	cfg      cluster.Config // Nodes set to the default shape
+}
+
+// expectedReservedTime is the expected node-time one job reserves
+// across its kill-and-retry attempts under the policy:
+// Σ_i r_i · P(X ≥ r_{i-1}), r_0 = 0 — Eq. (4)'s α term, truncated at
+// the attempt cap. Actual occupancy is lower (completed attempts free
+// their slots early), so sizing arrivals against it is conservative.
+func expectedReservedTime(d repro.Distribution, policy []float64) float64 {
+	occ, prev := 0.0, 0.0
+	for _, r := range policy {
+		occ += r * d.Survival(prev)
+		prev = r
+	}
+	return occ
+}
+
+// buildScenario validates options and derives policies and the arrival
+// rate. sizingCap is the fleet capacity the auto-rate targets; <= 0
+// means the default -nodes×-cap shape. Sweeps pass the smallest shape
+// capacity in the matrix so no shape runs overloaded.
+func buildScenario(opt options, sizingCap int) (*scenario, error) {
 	if len(opt.Strategies) == 0 {
 		return nil, fmt.Errorf("no strategies selected")
 	}
@@ -157,16 +262,35 @@ func compare(opt options) (*tablefmt.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	capacity := opt.Nodes * opt.NodeCap
+	policies := make([][]float64, len(opt.Strategies))
+	maxReserved := 0.0
+	for i, name := range opt.Strategies {
+		policy, err := pl.AdmissionPolicy(d, name, opt.MaxAttempts)
+		if err != nil {
+			return nil, err
+		}
+		policies[i] = policy
+		if occ := expectedReservedTime(d, policy); occ > maxReserved {
+			maxReserved = occ
+		}
+	}
+	capacity := sizingCap
+	if capacity <= 0 {
+		capacity = opt.Nodes * opt.NodeCap
+	}
 	rate := opt.Rate
 	if rate <= 0 {
-		// Offered load ≈ rate · E[X] · E[width] / capacity: size the
-		// arrival rate so the fleet sits near 70% offered load.
+		// Offered load ≈ rate · E[reserved time] · E[width] / capacity:
+		// size the arrival rate so the fleet sits near 70% offered load
+		// under the hungriest selected strategy. Reserved time — not
+		// E[X] — is what kill-and-retry admission burns, and sizing
+		// against the raw mean makes multi-attempt scenarios unstable
+		// (an ever-growing queue and quadratic scheduling cost).
 		meanWidth := float64(opt.MinWidth)
 		if opt.MaxWidth > opt.MinWidth {
 			meanWidth = float64(opt.MinWidth+opt.MaxWidth) / 2
 		}
-		rate = 0.7 * float64(capacity) / (d.Mean() * meanWidth)
+		rate = 0.7 * float64(capacity) / (maxReserved * meanWidth)
 	}
 	back, err := parseBackfill(opt.Backfill)
 	if err != nil {
@@ -176,53 +300,66 @@ func compare(opt options) (*tablefmt.Table, error) {
 	if tenantBudget <= 0 {
 		tenantBudget = math.Inf(1)
 	}
-	cfg := cluster.Config{
-		Nodes:        fleetNodes(opt.Nodes, opt.NodeCap),
-		Tenants:      []cluster.Tenant{{Name: "fleet", Budget: tenantBudget, Quota: opt.Quota}},
-		Backfill:     back,
-		Model:        pl.CostModel(),
-		PreemptAfter: opt.Preempt,
-	}
+	return &scenario{
+		dist:     d,
+		planner:  pl,
+		policies: policies,
+		rate:     rate,
+		backfill: back,
+		cfg: cluster.Config{
+			Nodes:        fleetNodes(opt.Nodes, opt.NodeCap),
+			Tenants:      []cluster.Tenant{{Name: "fleet", Budget: tenantBudget, Quota: opt.Quota}},
+			Backfill:     back,
+			Model:        pl.CostModel(),
+			PreemptAfter: opt.Preempt,
+		},
+	}, nil
+}
 
+// workload builds the one-class WorkloadSpec for a policy.
+func (sc *scenario) workload(opt options, policy []float64) cluster.WorkloadSpec {
+	return cluster.WorkloadSpec{
+		Seed:        opt.Seed,
+		Jobs:        opt.Jobs,
+		ArrivalRate: sc.rate,
+		Classes: []cluster.JobClass{{
+			Name:     sc.dist.Name(),
+			Runtime:  sc.dist,
+			Weight:   1,
+			MinWidth: opt.MinWidth,
+			MaxWidth: opt.MaxWidth,
+			Policy:   policy,
+		}},
+	}
+}
+
+// compare runs the same seeded workload under every requested strategy
+// and tabulates the outcomes. The generated jobs are identical across
+// strategies — only the per-job reservation policy differs — so the
+// columns are directly comparable. Each run streams: results fold into
+// constant-memory accumulators as jobs retire.
+func compare(opt options) (*tablefmt.Table, error) {
+	sc, err := buildScenario(opt, 0)
+	if err != nil {
+		return nil, err
+	}
 	table := tablefmt.New(
 		fmt.Sprintf("clustersim: %s, %d jobs on %d×%d nodes, rate %.3g, %s backfill (seed %d)",
-			d.Name(), opt.Jobs, opt.Nodes, opt.NodeCap, rate, back, opt.Seed),
+			sc.dist.Name(), opt.Jobs, opt.Nodes, opt.NodeCap, sc.rate, sc.backfill, opt.Seed),
 		"strategy", "attempts", "mean att", "kills", "rejected", "util",
 		"mean wait", "p95 wait", "mean cost", "trace hash",
 	)
-	for _, name := range opt.Strategies {
-		policy, err := pl.AdmissionPolicy(d, name, opt.MaxAttempts)
-		if err != nil {
-			return nil, err
-		}
-		spec := cluster.WorkloadSpec{
-			Seed:        opt.Seed,
-			Jobs:        opt.Jobs,
-			ArrivalRate: rate,
-			Classes: []cluster.JobClass{{
-				Name:     d.Name(),
-				Runtime:  d,
-				Weight:   1,
-				MinWidth: opt.MinWidth,
-				MaxWidth: opt.MaxWidth,
-				Policy:   policy,
-			}},
-		}
-		out, err := cluster.Run(spec, cfg, opt.Workers, opt.Check)
+	for i, name := range opt.Strategies {
+		policy := sc.policies[i]
+		out, err := cluster.RunStream(sc.workload(opt, policy), sc.cfg, opt.Workers, opt.Check)
 		if err != nil {
 			return nil, fmt.Errorf("strategy %s: %w", name, err)
-		}
-		killed := 0
-		for _, r := range out.Results {
-			if r.Killed {
-				killed++
-			}
 		}
 		table.AddRow(
 			name,
 			fmt.Sprintf("%d", len(policy)),
 			tablefmt.Num(out.Stats.MeanAttempts),
-			fmt.Sprintf("%d", killed),
+			fmt.Sprintf("%d", out.Stats.Killed),
 			fmt.Sprintf("%d", out.Stats.Rejected),
 			fmt.Sprintf("%.4f", out.Stats.Utilization),
 			tablefmt.Num(out.Stats.MeanWait),
@@ -232,6 +369,76 @@ func compare(opt options) (*tablefmt.Table, error) {
 		)
 	}
 	return table, nil
+}
+
+// sweep runs the (strategy × shape × replicate) matrix and tabulates
+// the merged groups.
+func sweep(opt options) (*tablefmt.Table, cluster.SweepResult, error) {
+	var zero cluster.SweepResult
+	if opt.Replicates < 1 {
+		return nil, zero, fmt.Errorf("need at least one replicate, got %d", opt.Replicates)
+	}
+	shapes, err := parseShapes(opt.Shapes, opt.Nodes, opt.NodeCap)
+	if err != nil {
+		return nil, zero, err
+	}
+	// Size the shared workload's arrival rate by the smallest fleet in
+	// the matrix: the sweep pairs one workload across every shape, and
+	// sizing by the default shape would overload any smaller one.
+	minCap := 0
+	for _, sh := range shapes {
+		c := 0
+		for _, n := range sh.Nodes {
+			c += n
+		}
+		if minCap == 0 || c < minCap {
+			minCap = c
+		}
+	}
+	sc, err := buildScenario(opt, minCap)
+	if err != nil {
+		return nil, zero, err
+	}
+	strategies := make([]cluster.SweepStrategy, 0, len(opt.Strategies))
+	for i, name := range opt.Strategies {
+		strategies = append(strategies, cluster.SweepStrategy{Name: name, Policy: sc.policies[i]})
+	}
+	spec := cluster.SweepSpec{
+		// The template class policy is overridden per strategy cell;
+		// any valid sequence satisfies workload validation.
+		Workload:   sc.workload(opt, strategies[0].Policy),
+		Strategies: strategies,
+		Shapes:     shapes,
+		Replicates: opt.Replicates,
+		Base:       sc.cfg,
+		Check:      opt.Check,
+	}
+	result, err := cluster.RunSweep(spec, opt.Workers)
+	if err != nil {
+		return nil, zero, err
+	}
+	table := tablefmt.New(
+		fmt.Sprintf("clustersim sweep: %s, %d jobs × %d replicates, rate %.3g, %s backfill (seed %d)",
+			sc.dist.Name(), opt.Jobs, opt.Replicates, sc.rate, sc.backfill, opt.Seed),
+		"strategy", "shape", "mean att", "killed", "rejected", "util",
+		"mean wait", "p50 wait", "p99 wait", "p99.9 wait", "mean cost",
+	)
+	for _, g := range result.Groups {
+		table.AddRow(
+			g.Strategy,
+			g.Shape,
+			tablefmt.Num(g.Stats.MeanAttempts),
+			fmt.Sprintf("%d", g.Stats.Killed),
+			fmt.Sprintf("%d", g.Stats.Rejected),
+			fmt.Sprintf("%.4f", g.Stats.Utilization),
+			tablefmt.Num(g.Stats.MeanWait),
+			tablefmt.Num(g.Stats.WaitP50),
+			tablefmt.Num(g.Stats.WaitP99),
+			tablefmt.Num(g.Stats.WaitP999),
+			tablefmt.Num(g.Stats.MeanCost),
+		)
+	}
+	return table, result, nil
 }
 
 // fleetNodes builds a homogeneous node list.
@@ -244,6 +451,8 @@ func fleetNodes(n, capacity int) []int {
 }
 
 // writeCSV writes the comparison table into dir and returns the path.
+// Output is buffered and flushed once, with the flush and close errors
+// checked — a full disk cannot silently truncate results.
 func writeCSV(dir string, table *tablefmt.Table) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
@@ -253,9 +462,164 @@ func writeCSV(dir string, table *tablefmt.Table) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if err := table.WriteCSV(f); err != nil {
+	w := bufio.NewWriter(f)
+	if err := table.WriteCSV(w); err == nil {
+		err = w.Flush()
+	} else {
+		_ = f.Close()
+		return "", err
+	}
+	if err != nil {
 		_ = f.Close()
 		return "", err
 	}
 	return path, f.Close()
+}
+
+// writeSweepCSV streams every sweep cell as one CSV row through a
+// buffered writer, flushed and error-checked once at the end.
+func writeSweepCSV(dir string, result cluster.SweepResult) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "clustersweep.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	bw := bufio.NewWriter(f)
+	cw := csv.NewWriter(bw)
+	_ = cw.Write([]string{
+		"strategy", "shape", "replicate", "seed", "jobs", "completed",
+		"killed", "rejected", "utilization", "mean_wait", "wait_p50",
+		"wait_p95", "wait_p99", "wait_p999", "mean_cost", "trace_hash",
+	})
+	for _, c := range result.Cells {
+		_ = cw.Write([]string{
+			c.Strategy,
+			c.Shape,
+			strconv.Itoa(c.Replicate),
+			fmt.Sprintf("%016x", c.Seed),
+			strconv.Itoa(c.Stats.Jobs),
+			strconv.Itoa(c.Stats.Completed),
+			strconv.Itoa(c.Stats.Killed),
+			strconv.Itoa(c.Stats.Rejected),
+			strconv.FormatFloat(c.Stats.Utilization, 'g', -1, 64),
+			strconv.FormatFloat(c.Stats.MeanWait, 'g', -1, 64),
+			strconv.FormatFloat(c.Stats.WaitP50, 'g', -1, 64),
+			strconv.FormatFloat(c.Stats.WaitP95, 'g', -1, 64),
+			strconv.FormatFloat(c.Stats.WaitP99, 'g', -1, 64),
+			strconv.FormatFloat(c.Stats.WaitP999, 'g', -1, 64),
+			strconv.FormatFloat(c.Stats.MeanCost, 'g', -1, 64),
+			fmt.Sprintf("%016x", c.TraceHash),
+		})
+	}
+	// One flush, one error check: csv.Writer sticks its first error,
+	// and Flush drains through the bufio layer.
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		_ = f.Close()
+		return "", err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// runSmoke is the default-gate self test: (1) a small sweep matrix must
+// produce bit-identical cells and hashes for 1, 4, and 16 workers;
+// (2) the streaming quantile sketch must agree with exact sorted-sample
+// quantiles within its documented error bound.
+func runSmoke() error {
+	opt := options{
+		DistSpec:    "exp(1)",
+		Strategies:  []string{"mean-doubling", "equal-probability"},
+		Jobs:        2000,
+		Seed:        7,
+		Nodes:       8,
+		NodeCap:     2,
+		MinWidth:    1,
+		MaxWidth:    2,
+		MaxAttempts: 8,
+		Backfill:    "easy",
+		Model:       repro.CostModel{Alpha: 1, Beta: 0.5, Gamma: 0.1},
+		Check:       true,
+		Replicates:  2,
+		Shapes:      "8x2,4x4",
+	}
+
+	// Cross-worker sweep determinism.
+	var ref cluster.SweepResult
+	for i, workers := range []int{1, 4, 16} {
+		o := opt
+		o.Workers = workers
+		_, result, err := sweep(o)
+		if err != nil {
+			return fmt.Errorf("sweep (workers=%d): %w", workers, err)
+		}
+		if i == 0 {
+			ref = result
+			continue
+		}
+		if result.Hash != ref.Hash {
+			return fmt.Errorf("sweep hash diverged: workers=%d gave %016x, workers=1 gave %016x",
+				workers, result.Hash, ref.Hash)
+		}
+		for k := range ref.Cells {
+			if result.Cells[k] != ref.Cells[k] {
+				return fmt.Errorf("sweep cell %d diverged between workers=1 and workers=%d", k, workers)
+			}
+		}
+	}
+
+	// Sketch-vs-exact quantile parity on a buffered run of the same
+	// scenario.
+	sc, err := buildScenario(opt, 0)
+	if err != nil {
+		return err
+	}
+	out, err := cluster.Run(sc.workload(opt, sc.policies[0]), sc.cfg, opt.Workers, true)
+	if err != nil {
+		return err
+	}
+	var waits []float64
+	for _, r := range out.Results {
+		if !r.Rejected {
+			waits = append(waits, r.Wait)
+		}
+	}
+	if len(waits) == 0 {
+		return fmt.Errorf("smoke scenario admitted no jobs")
+	}
+	sort.Float64s(waits)
+	exact := func(p float64) float64 {
+		rank := int(math.Ceil(p * float64(len(waits))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(waits) {
+			rank = len(waits)
+		}
+		return waits[rank-1]
+	}
+	checks := []struct {
+		p    float64
+		got  float64
+		name string
+	}{
+		{0.50, out.Stats.WaitP50, "p50"},
+		{0.95, out.Stats.WaitP95, "p95"},
+		{0.99, out.Stats.WaitP99, "p99"},
+		{0.999, out.Stats.WaitP999, "p99.9"},
+	}
+	for _, c := range checks {
+		want := exact(c.p)
+		bound := trace.DefaultSketchAlpha*math.Abs(want) + 1e-9
+		if math.Abs(c.got-want) > bound {
+			return fmt.Errorf("sketch %s = %g, exact %g, |err| > %g", c.name, c.got, want, bound)
+		}
+	}
+	return nil
 }

@@ -126,6 +126,141 @@ func TestParseBackfill(t *testing.T) {
 	}
 }
 
+func TestParseShapes(t *testing.T) {
+	shapes, err := parseShapes("", 16, 4)
+	if err != nil || len(shapes) != 1 || shapes[0].Name != "16x4" || len(shapes[0].Nodes) != 16 || shapes[0].Nodes[0] != 4 {
+		t.Fatalf("default shape: %+v, %v", shapes, err)
+	}
+	shapes, err = parseShapes(" 8x2 ,64x1", 16, 4)
+	if err != nil || len(shapes) != 2 {
+		t.Fatalf("got %+v, %v", shapes, err)
+	}
+	if shapes[1].Name != "64x1" || len(shapes[1].Nodes) != 64 || shapes[1].Nodes[63] != 1 {
+		t.Fatalf("shape 64x1 parsed as %+v", shapes[1])
+	}
+	for _, bad := range []string{"8", "0x4", "8x0", "8x-1", "axb", ","} {
+		if _, err := parseShapes(bad, 16, 4); err == nil {
+			t.Errorf("parseShapes(%q) accepted", bad)
+		}
+	}
+}
+
+func sweepTestOptions() options {
+	opt := testOptions()
+	opt.Jobs = 600
+	opt.Replicates = 2
+	opt.Shapes = "4x2,2x4"
+	return opt
+}
+
+// TestSweepTabulatesMatrix: one table row per (strategy × shape) group,
+// one result cell per (strategy × shape × replicate).
+func TestSweepTabulatesMatrix(t *testing.T) {
+	opt := sweepTestOptions()
+	table, result, err := sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(opt.Strategies) * 2; table.Rows() != want {
+		t.Fatalf("%d rows, want %d", table.Rows(), want)
+	}
+	if want := len(opt.Strategies) * 2 * opt.Replicates; len(result.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(result.Cells), want)
+	}
+	out := table.String()
+	for _, tok := range []string{"mean-doubling", "equal-probability", "4x2", "2x4"} {
+		if !strings.Contains(out, tok) {
+			t.Errorf("table misses %q:\n%s", tok, out)
+		}
+	}
+}
+
+// TestSweepWorkerIndependenceCmd: the sweep hash and every cell must be
+// bit-identical across worker counts when driven through the command's
+// option plumbing.
+func TestSweepWorkerIndependenceCmd(t *testing.T) {
+	var ref cluster.SweepResult
+	for i, workers := range []int{1, 7} {
+		opt := sweepTestOptions()
+		opt.Workers = workers
+		_, result, err := sweep(opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			ref = result
+			continue
+		}
+		if result.Hash != ref.Hash {
+			t.Fatalf("sweep hash differs: %016x vs %016x", result.Hash, ref.Hash)
+		}
+		for k := range ref.Cells {
+			if result.Cells[k] != ref.Cells[k] {
+				t.Fatalf("cell %d differs across worker counts", k)
+			}
+		}
+	}
+}
+
+func TestSweepErrorsCmd(t *testing.T) {
+	opt := sweepTestOptions()
+	opt.Shapes = "8"
+	if _, _, err := sweep(opt); err == nil {
+		t.Error("bad shape accepted")
+	}
+	opt = sweepTestOptions()
+	opt.Strategies = nil
+	if _, _, err := sweep(opt); err == nil {
+		t.Error("empty strategy list accepted")
+	}
+	opt = sweepTestOptions()
+	opt.Replicates = 0
+	if _, _, err := sweep(opt); err == nil {
+		t.Error("zero replicates accepted")
+	}
+}
+
+// TestRunSmoke: the check.sh gate must pass against the current
+// simulator (cross-worker determinism and sketch accuracy).
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke runs 12 sweeps plus a buffered reference run")
+	}
+	if err := runSmoke(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	opt := sweepTestOptions()
+	opt.Jobs = 200
+	_, result, err := sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "results")
+	path, err := writeSweepCSV(dir, result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if want := 1 + len(result.Cells); len(lines) != want {
+		t.Fatalf("csv has %d lines, want %d:\n%s", len(lines), want, data)
+	}
+	if !strings.HasPrefix(lines[0], "strategy,shape,replicate,seed,") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if n := strings.Count(line, ","); n != strings.Count(lines[0], ",") {
+			t.Fatalf("ragged csv row: %s", line)
+		}
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	opt := testOptions()
 	opt.Strategies = opt.Strategies[:1]

@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// eventLess is the total order every event structure agrees on:
+// (time, start-order seq), without any float equality test. seq values
+// are unique, so the order is strict.
+//
+//repro:hotpath
+func eventLess(a, b finishEvent) bool {
+	if a.time < b.time {
+		return true
+	}
+	if b.time < a.time {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+const (
+	// calMinBuckets is the smallest bucket count (power of two).
+	calMinBuckets = 16
+	// calMaxVirt guards the time→bucket mapping against int64
+	// overflow: a virtual bucket number at or beyond 2^62 means the
+	// bucket width has collapsed relative to the times and the queue
+	// falls back to the heap.
+	calMaxVirt = float64(1 << 62)
+	// calSpanFactor: at a rebuild, if the pending times span more than
+	// calSpanFactor years of buckets (span > factor · buckets · width),
+	// the distribution is too spread for O(1) bucketing — fall back.
+	calSpanFactor = 64
+	// calDirectLimit: this many consecutive overloaded direct searches
+	// (full scans with more events than buckets) mean the bucket
+	// function stopped matching the distribution — fall back.
+	calDirectLimit = 16
+)
+
+// calQueue is a calendar queue: pending completions hashed by time into
+// width-sized buckets arranged in a circular "year". Push appends into
+// the event's bucket (kept sorted by eventLess, scanning from the
+// tail); pop advances a virtual bucket cursor until it meets a bucket
+// whose head is due. With width tracking the median inter-event gap and
+// the bucket count tracking the population (both adjusted at resize),
+// push and pop are O(1) amortized.
+//
+// Correctness does not depend on the width heuristic, only on the
+// bucket function vb(t) = int64(t·invWidth) being monotone in t and
+// used consistently: the cursor invariant virt <= vb(pending minimum)
+// holds because locate only advances virt to the minimum's bucket and
+// push moves the cursor back when an event lands before it, and locate
+// accepts a bucket head only when vb(head) <= virt —
+// a head that is not the global minimum would need vb(head) < vb(min),
+// i.e. head.time < min.time, a contradiction. Equal times share one
+// bucket, which is sorted by (time, seq), so the heap's tie-break is
+// reproduced exactly: pop order equals ascending eventLess order.
+//
+// When the time distribution degenerates — all-equal times (no positive
+// gap to size a width from), a spread too wide for the bucket year,
+// mapping overflow, or persistent overloaded direct searches — the
+// queue flags itself degenerate and the owning eventCore drains it into
+// the reference binary heap for the rest of the run.
+type calQueue struct {
+	b        [][]finishEvent
+	mask     int
+	n        int
+	width    float64
+	invWidth float64
+	virt     int64 // virtual bucket cursor (year position)
+	cur      int   // physical bucket cursor = virt & mask
+	clean    bool  // cursor currently points at the minimum's bucket
+	direct   int   // consecutive overloaded direct searches
+	degener  bool  // fall back to the heap (see eventCore.push/pop)
+
+	scratch []finishEvent // rebuild scratch
+	times   []float64     // rebuild scratch
+	gaps    []float64     // rebuild scratch
+}
+
+func newCalQueue() *calQueue {
+	return &calQueue{
+		b:        make([][]finishEvent, calMinBuckets),
+		mask:     calMinBuckets - 1,
+		width:    1,
+		invWidth: 1,
+	}
+}
+
+// vb maps a time to its virtual bucket. ok is false when the mapping
+// overflows int64 range.
+//
+//repro:hotpath
+func (q *calQueue) vb(t float64) (int64, bool) {
+	f := t * q.invWidth
+	if !(f < calMaxVirt) {
+		return 0, false
+	}
+	return int64(f), true
+}
+
+// push inserts a completion, keeping its bucket sorted by eventLess.
+//
+//repro:hotpath
+func (q *calQueue) push(e finishEvent) {
+	v, ok := q.vb(e.time)
+	if !ok {
+		// Overflowed mapping: fall back to the always-correct heap.
+		// The event still lands in a bucket so the drain sees it.
+		q.degener = true
+		v = q.virt
+	} else if v < q.virt {
+		// An event before the cursor — routine when a short attempt
+		// starts while far-future completions are pending (locate had
+		// advanced to the old minimum). Moving the cursor back keeps
+		// the invariant virt <= vb(pending min); the next locate
+		// rescans the gap, costing at most one extra year (amortized
+		// against the pops that advanced past it).
+		q.virt = v
+		q.cur = int(v) & q.mask
+	}
+	idx := int(v) & q.mask
+	//lint:ignore hotalloc bucket growth is amortized: steady-state pushes reuse bucket capacity retained across the year
+	b := append(q.b[idx], e)
+	i := len(b) - 1
+	for i > 0 && eventLess(e, b[i-1]) {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = e
+	q.b[idx] = b
+	q.n++
+	q.clean = false
+	if q.n > 2*len(q.b) && !q.degener {
+		q.rebuild(2 * len(q.b))
+	}
+}
+
+// top returns the earliest completion without removing it. Call only
+// when n > 0.
+//
+//repro:hotpath
+func (q *calQueue) top() finishEvent {
+	q.locate()
+	return q.b[q.cur][0]
+}
+
+// pop removes and returns the earliest completion. Call only when
+// n > 0.
+//
+//repro:hotpath
+func (q *calQueue) pop() finishEvent {
+	q.locate()
+	b := q.b[q.cur]
+	e := b[0]
+	copy(b, b[1:])
+	q.b[q.cur] = b[:len(b)-1]
+	q.n--
+	q.clean = false
+	if q.n < len(q.b)/8 && len(q.b) > calMinBuckets && !q.degener {
+		q.rebuild(len(q.b) / 2)
+	}
+	return e
+}
+
+// locate advances the cursor to the bucket holding the minimum: scan
+// up to one full year of buckets accepting the first due head; after a
+// fruitless year (the pending events are all far in the future),
+// search every bucket head directly and jump the cursor.
+//
+//repro:hotpath
+func (q *calQueue) locate() {
+	if q.clean || q.n == 0 {
+		return
+	}
+	for i := 0; i < len(q.b); i++ {
+		if b := q.b[q.cur]; len(b) > 0 {
+			if v, ok := q.vb(b[0].time); ok && v <= q.virt {
+				q.virt = v
+				q.clean = true
+				q.direct = 0
+				return
+			}
+		}
+		q.cur = (q.cur + 1) & q.mask
+		q.virt++
+	}
+	q.directSearch()
+}
+
+// directSearch finds the minimum across all bucket heads (cold: only
+// after a fruitless year scan) and repositions the cursor on it.
+func (q *calQueue) directSearch() {
+	best := -1
+	var be finishEvent
+	for i := range q.b {
+		if len(q.b[i]) == 0 {
+			continue
+		}
+		if best < 0 || eventLess(q.b[i][0], be) {
+			best, be = i, q.b[i][0]
+		}
+	}
+	q.cur = best
+	if v, ok := q.vb(be.time); ok {
+		q.virt = v
+	} else {
+		q.degener = true
+	}
+	q.clean = true
+	if q.n > len(q.b) {
+		// More events than buckets and still nothing within a year:
+		// the width no longer matches the distribution.
+		q.direct++
+		if q.direct >= calDirectLimit {
+			q.degener = true
+		}
+	} else {
+		q.direct = 0
+	}
+}
+
+// remove deletes the pending completion of the given job, which must
+// be present and must have been pushed with this end time.
+func (q *calQueue) remove(job int32, time float64) {
+	v, ok := q.vb(time)
+	if !ok {
+		v = q.virt // mirror push's overflow placement
+	}
+	idx := int(v) & q.mask
+	b := q.b[idx]
+	for i := range b {
+		if b[i].job == job {
+			copy(b[i:], b[i+1:])
+			q.b[idx] = b[:len(b)-1]
+			q.n--
+			q.clean = false
+			return
+		}
+	}
+	panic("cluster: calendar queue remove of absent job")
+}
+
+// rebuild resizes to nb buckets, re-deriving the width from the
+// pending time distribution (3× the median positive gap — wide enough
+// that a bucket holds a few events, narrow enough that a year covers
+// the span). A growing population with no usable width means the
+// distribution is genuinely unbucketable (all-equal times, or a span
+// no year covers) and the queue flags degenerate, keeping its current
+// (still correct) shape for the heap drain; a shrinking one — the tail
+// of a drain, where the few survivors may be ties — just keeps the
+// width that served the larger population.
+func (q *calQueue) rebuild(nb int) {
+	ev := q.scratch[:0]
+	for _, b := range q.b {
+		ev = append(ev, b...)
+	}
+	q.scratch = ev
+	if len(ev) == 0 {
+		return
+	}
+
+	q.times = q.times[:0]
+	for _, e := range ev {
+		q.times = append(q.times, e.time)
+	}
+	sort.Float64s(q.times)
+	w, ok := q.calWidth(nb)
+	if !ok {
+		if nb > len(q.b) {
+			q.degener = true
+			return
+		}
+		w = q.width
+	}
+	inv := 1 / w
+	lo := q.times[0] * inv
+	hi := q.times[len(q.times)-1] * inv
+	if !(hi < calMaxVirt) || !(lo < calMaxVirt) || math.IsNaN(lo) {
+		q.degener = true
+		return
+	}
+	q.width = w
+	q.invWidth = inv
+	q.b = make([][]finishEvent, nb)
+	q.mask = nb - 1
+	q.virt = int64(lo)
+	q.cur = int(q.virt) & q.mask
+	q.n = len(ev)
+	q.clean = false
+	q.direct = 0
+	for _, e := range ev {
+		q.insert(e)
+	}
+}
+
+// insert is push without counters or resize checks, used by rebuild.
+func (q *calQueue) insert(e finishEvent) {
+	v, _ := q.vb(e.time) // rebuild verified the extremes map in range
+	idx := int(v) & q.mask
+	b := append(q.b[idx], e)
+	i := len(b) - 1
+	for i > 0 && eventLess(e, b[i-1]) {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = e
+	q.b[idx] = b
+}
+
+// calWidth derives the bucket width from the sorted pending times.
+// ok is false when the distribution cannot be bucketed: all times
+// equal (no positive gap) or a span so wide that a year of nb buckets
+// cannot cover it at a gap-scaled width.
+func (q *calQueue) calWidth(nb int) (float64, bool) {
+	ts := q.times
+	q.gaps = q.gaps[:0]
+	for i := 1; i < len(ts); i++ {
+		if g := ts[i] - ts[i-1]; g > 0 {
+			q.gaps = append(q.gaps, g)
+		}
+	}
+	if len(q.gaps) == 0 {
+		return 0, false // all-equal times: nothing to size a width from
+	}
+	sort.Float64s(q.gaps)
+	w := 3 * q.gaps[len(q.gaps)/2]
+	if !(w > 0) || math.IsInf(w, 0) {
+		return 0, false
+	}
+	if span := ts[len(ts)-1] - ts[0]; span > w*float64(nb)*calSpanFactor {
+		return 0, false // e.g. times spread over many decades
+	}
+	return w, true
+}
+
+// eventCore is the pending-completion scheduler: a calendar queue by
+// default (EngineCalendar), the reference binary heap either on request
+// (EngineHeap) or permanently after the calendar flags a degenerate
+// time distribution. Both structures pop in ascending eventLess order,
+// so the engines are interchangeable event for event.
+type eventCore struct {
+	cal  *calQueue
+	heap *eventHeap
+}
+
+func (c *eventCore) init(e Engine) {
+	if e == EngineHeap {
+		c.heap = newEventHeap()
+	} else {
+		c.cal = newCalQueue()
+	}
+}
+
+//repro:hotpath
+func (c *eventCore) size() int {
+	if c.cal != nil {
+		return c.cal.n
+	}
+	return c.heap.size()
+}
+
+//repro:hotpath
+func (c *eventCore) top() finishEvent {
+	if c.cal != nil {
+		return c.cal.top()
+	}
+	return c.heap.top()
+}
+
+//repro:hotpath
+func (c *eventCore) push(e finishEvent) {
+	if c.cal != nil {
+		c.cal.push(e)
+		if c.cal.degener {
+			c.spill()
+		}
+		return
+	}
+	c.heap.push(e)
+}
+
+//repro:hotpath
+func (c *eventCore) pop() finishEvent {
+	if c.cal != nil {
+		e := c.cal.pop()
+		if c.cal.degener {
+			c.spill()
+		}
+		return e
+	}
+	return c.heap.pop()
+}
+
+func (c *eventCore) remove(job int32, time float64) {
+	if c.cal != nil {
+		c.cal.remove(job, time)
+		return
+	}
+	c.heap.remove(job)
+}
+
+// appendPending snapshots every pending completion into buf (in no
+// particular order — callers sort or select as needed).
+//
+//repro:hotpath
+func (c *eventCore) appendPending(buf []finishEvent) []finishEvent {
+	if c.cal != nil {
+		for _, b := range c.cal.b {
+			//lint:ignore hotalloc growth is amortized; callers pass a scratch buffer reused across scheduling passes
+			buf = append(buf, b...)
+		}
+		return buf
+	}
+	//lint:ignore hotalloc growth is amortized; callers pass a scratch buffer reused across scheduling passes
+	return append(buf, c.heap.ev...)
+}
+
+// spill permanently drains a degenerate calendar queue into the heap.
+// Cold: at most once per simulation.
+func (c *eventCore) spill() {
+	h := newEventHeap()
+	for _, b := range c.cal.b {
+		for _, e := range b {
+			h.push(e)
+		}
+	}
+	c.heap = h
+	c.cal = nil
+}
+
+// fellBack reports whether the calendar queue has been abandoned for
+// the heap (test hook for the adversarial suites).
+func (c *eventCore) fellBack() bool { return c.cal == nil }

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// popAll drains the core, asserting ascending eventLess order, and
+// returns the drained events.
+func popAll(t *testing.T, c *eventCore) []finishEvent {
+	t.Helper()
+	var out []finishEvent
+	for c.size() > 0 {
+		top := c.top()
+		e := c.pop()
+		if e != top {
+			t.Fatalf("pop %+v != top %+v", e, top)
+		}
+		if n := len(out); n > 0 && eventLess(e, out[n-1]) {
+			t.Fatalf("pop order violated: %+v after %+v", e, out[n-1])
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestCalQueueOrderingRandom: random pushes (with deliberate time ties)
+// pop in exactly sorted (time, seq) order, across enough events to
+// trigger grow rebuilds, without falling back.
+func TestCalQueueOrderingRandom(t *testing.T) {
+	var c eventCore
+	c.init(EngineCalendar)
+	r := rng.New(1)
+	var want []finishEvent
+	for i := 0; i < 3000; i++ {
+		tm := float64(r.Uint64n(500)) / 7 // many exact ties
+		e := finishEvent{time: tm, seq: uint64(i), job: int32(i)}
+		c.push(e)
+		want = append(want, e)
+	}
+	sort.Slice(want, func(i, k int) bool { return eventLess(want[i], want[k]) })
+	got := popAll(t, &c)
+	if c.fellBack() {
+		t.Fatal("uniform times should not trigger fallback")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCalQueueInterleavedAgainstHeap: an interleaved push/pop/remove
+// stream agrees with the reference heap operation for operation.
+func TestCalQueueInterleavedAgainstHeap(t *testing.T) {
+	var c eventCore
+	c.init(EngineCalendar)
+	h := newEventHeap()
+	r := rng.New(7)
+	now := 0.0
+	live := map[int32]float64{}
+	for i := 0; i < 5000; i++ {
+		switch {
+		case c.size() == 0 || r.Uint64n(3) > 0:
+			tm := now + float64(r.Uint64n(64))/8
+			e := finishEvent{time: tm, seq: uint64(i), job: int32(i)}
+			c.push(e)
+			h.push(e)
+			live[e.job] = e.time
+		case r.Uint64n(4) == 0 && len(live) > 1:
+			// remove the lowest live job (preemption path); map
+			// iteration order must not leak into the op stream
+			victim := int32(-1)
+			for j := range live {
+				if victim < 0 || j < victim {
+					victim = j
+				}
+			}
+			c.remove(victim, live[victim])
+			h.remove(victim)
+			delete(live, victim)
+		default:
+			ce, he := c.pop(), h.pop()
+			if ce != he {
+				t.Fatalf("op %d: calendar popped %+v, heap %+v", i, ce, he)
+			}
+			delete(live, ce.job)
+			now = ce.time
+		}
+		if c.size() != h.size() {
+			t.Fatalf("op %d: size %d vs %d", i, c.size(), h.size())
+		}
+	}
+	got, want := popAll(t, &c), make([]finishEvent, 0, h.size())
+	for h.size() > 0 {
+		want = append(want, h.pop())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCalQueueShrinkRebuild: draining a large population far enough
+// triggers the shrink rebuild and ordering survives it.
+func TestCalQueueShrinkRebuild(t *testing.T) {
+	var c eventCore
+	c.init(EngineCalendar)
+	for i := 0; i < 2048; i++ {
+		c.push(finishEvent{time: float64(i) * 0.5, seq: uint64(i), job: int32(i)})
+	}
+	prev := finishEvent{time: -1}
+	for c.size() > 0 {
+		e := c.pop()
+		if eventLess(e, prev) {
+			t.Fatalf("order violated after shrink: %+v after %+v", e, prev)
+		}
+		prev = e
+	}
+	if c.fellBack() {
+		t.Fatal("regular spacing should not trigger fallback")
+	}
+}
+
+// TestEventCoreFallbackAllEqual: >2·calMinBuckets events at one time
+// force a rebuild that finds no positive gap — the core must fall back
+// to the heap and keep the seq tie-break.
+func TestEventCoreFallbackAllEqual(t *testing.T) {
+	var c eventCore
+	c.init(EngineCalendar)
+	for i := 0; i < 40; i++ {
+		c.push(finishEvent{time: 3, seq: uint64(i), job: int32(i)})
+	}
+	if !c.fellBack() {
+		t.Fatal("all-equal times must fall back to the heap")
+	}
+	for i := 0; i < 40; i++ {
+		if e := c.pop(); e.seq != uint64(i) {
+			t.Fatalf("pop %d: seq %d", i, e.seq)
+		}
+	}
+}
+
+// TestEventCoreFallbackWideSpread: a 39-decade spread cannot fit a
+// bucket year at any gap-derived width.
+func TestEventCoreFallbackWideSpread(t *testing.T) {
+	var c eventCore
+	c.init(EngineCalendar)
+	tm := 1.0
+	for i := 0; i < 40; i++ {
+		c.push(finishEvent{time: tm, seq: uint64(i), job: int32(i)})
+		tm *= 10
+	}
+	if !c.fellBack() {
+		t.Fatal("wide spread must fall back to the heap")
+	}
+	prev := 0.0
+	for c.size() > 0 {
+		e := c.pop()
+		if e.time <= prev {
+			t.Fatalf("order violated: %g after %g", e.time, prev)
+		}
+		prev = e.time
+	}
+}
+
+// TestEventCoreOverflowGuard: a time whose bucket mapping overflows
+// int64 range must trip the degenerate flag, not misorder.
+func TestEventCoreOverflowGuard(t *testing.T) {
+	var c eventCore
+	c.init(EngineCalendar)
+	c.push(finishEvent{time: 1, seq: 0, job: 0})
+	c.push(finishEvent{time: 1e300, seq: 1, job: 1})
+	if !c.fellBack() {
+		t.Fatal("overflowing time must fall back")
+	}
+	if e := c.pop(); e.job != 0 {
+		t.Fatalf("first pop job %d", e.job)
+	}
+	if e := c.pop(); e.job != 1 {
+		t.Fatalf("second pop job %d", e.job)
+	}
+}
+
+// TestEventCorePushBehindCursor: a push before the cursor is routine —
+// a short attempt starting while far-future completions are pending —
+// and must move the cursor back, not misorder and not fall back.
+func TestEventCorePushBehindCursor(t *testing.T) {
+	var c eventCore
+	c.init(EngineCalendar)
+	c.push(finishEvent{time: 100, seq: 0, job: 0})
+	c.push(finishEvent{time: 200, seq: 1, job: 1})
+	if c.top().job != 0 {
+		t.Fatal("wrong top") // locate advances the cursor to job 0's bucket
+	}
+	if e := c.pop(); e.job != 0 {
+		t.Fatalf("pop job %d", e.job)
+	}
+	if c.top().job != 1 {
+		t.Fatal("wrong top") // locate advances the cursor to job 1's bucket
+	}
+	c.push(finishEvent{time: 105, seq: 2, job: 2}) // behind the cursor (at 200)
+	if c.fellBack() {
+		t.Fatal("push behind cursor must not fall back")
+	}
+	if e := c.pop(); e.job != 2 || e.time != 105 {
+		t.Fatalf("pop %+v", e)
+	}
+	if e := c.pop(); e.job != 1 {
+		t.Fatalf("pop %+v", e)
+	}
+}
+
+// TestEventCoreHeapEngine: the heap-engine core is just the reference
+// heap (no calendar allocated, fellBack reports true trivially).
+func TestEventCoreHeapEngine(t *testing.T) {
+	var c eventCore
+	c.init(EngineHeap)
+	for i := 0; i < 100; i++ {
+		c.push(finishEvent{time: float64(100 - i), seq: uint64(i), job: int32(i)})
+	}
+	popAll(t, &c)
+}
+
+// TestEventCoreAppendPending: the snapshot contains exactly the
+// pending set for both structures.
+func TestEventCoreAppendPending(t *testing.T) {
+	for _, eng := range []Engine{EngineCalendar, EngineHeap} {
+		var c eventCore
+		c.init(eng)
+		seen := map[int32]bool{}
+		for i := 0; i < 50; i++ {
+			c.push(finishEvent{time: float64(i % 7), seq: uint64(i), job: int32(i)})
+			seen[int32(i)] = true
+		}
+		got := c.appendPending(nil)
+		if len(got) != 50 {
+			t.Fatalf("engine %v: snapshot %d events", eng, len(got))
+		}
+		for _, e := range got {
+			if !seen[e.job] {
+				t.Fatalf("engine %v: duplicate or unknown job %d", eng, e.job)
+			}
+			delete(seen, e.job)
+		}
+	}
+}

@@ -28,6 +28,17 @@
 // completion of every admitted job (no starvation under backfill).
 // Tests run it on every scenario; cmd/clustersim -check runs it over
 // multi-million-job fleets.
+//
+// The package scales to tens of millions of jobs: the default
+// calendar-queue event core schedules completions in O(1) amortized
+// (EngineHeap keeps the reference binary heap, bit-identical by
+// construction), SimulateStream/RunStream push results into a
+// ResultSink instead of buffering them (StatsAccumulator summarizes in
+// O(1) memory per job via quantile sketches), and RunStream generates
+// the workload chunk by chunk through a recycling feed, so memory is
+// bounded by the in-flight window, not the job count. RunSweep fans a
+// (strategy × shape × replicate) matrix across internal/parallel
+// workers with a deterministic merge.
 package cluster
 
 import (
@@ -71,6 +82,35 @@ func (b BackfillPolicy) String() string {
 	return "unknown"
 }
 
+// Engine selects the pending-completion scheduler.
+type Engine uint8
+
+const (
+	// EngineCalendar (the default) schedules completions through a
+	// calendar queue — O(1) amortized push/pop — with batched recorder
+	// dispatch and a selection-scan shadow computation. It produces
+	// bit-identical results and traces to EngineHeap, and falls back
+	// to the heap mid-run when the time distribution degenerates (see
+	// calQueue).
+	EngineCalendar Engine = iota
+	// EngineHeap is the reference engine: binary min-heap, per-event
+	// recorder dispatch, sort-based shadow computation. It exists as
+	// the differential baseline the calendar engine is tested (and
+	// benchmarked) against.
+	EngineHeap
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineCalendar:
+		return "calendar"
+	case EngineHeap:
+		return "heap"
+	}
+	return "unknown"
+}
+
 // Tenant is one budget/quota principal.
 type Tenant struct {
 	// Name labels the tenant in reports.
@@ -104,6 +144,9 @@ type Config struct {
 	// BackfillNone or BackfillEASY; conservative backfilling never
 	// needs it (reservations bound every wait) and rejects it.
 	PreemptAfter float64
+	// Engine selects the event core; the zero value is the calendar
+	// queue. Results and traces are bit-identical across engines.
+	Engine Engine
 	// Recorder, when non-nil, receives every event in order.
 	Recorder Recorder
 
@@ -205,23 +248,43 @@ type jobState struct {
 	nodeSecs  float64
 }
 
+// Jobs and states live in fixed-size chunks (the generation granule,
+// so a streaming feed can recycle a chunk's memory the moment its last
+// job retires). Buffered runs slice one flat array into chunk views —
+// the accessors are a shift and a mask either way.
+const (
+	chunkShift = 16 // 1<<chunkShift == genChunk
+	chunkMask  = 1<<chunkShift - 1
+)
+
+// eventBatch is the recorder batch slab size (calendar engine only).
+const eventBatch = 1024
+
 // sim is the event-loop state.
 type sim struct {
-	cfg     *Config
-	jobs    []Job
-	st      []jobState
-	results []Result
-	rec     Recorder
-	ledger  *Ledger
-	pool    *nodePool
-	heap    *eventHeap
+	cfg      *Config
+	nJobs    int
+	jobCh    [][]Job
+	stCh     [][]jobState
+	chLive   []int32 // streaming runs: per-chunk live refcount
+	feed     *jobFeed
+	sink     ResultSink
+	results  []Result
+	rec      Recorder
+	batchRec BatchRecorder
+	batch    []Event
+	batchN   int
+	ledger   *Ledger
+	pool     *nodePool
+	ec       eventCore
 
 	now       float64
 	seq       uint64 // trace position
-	startSeq  uint64 // start-order counter (heap tie-break)
-	next      int    // arrival cursor into jobs
+	startSeq  uint64 // start-order counter (event-core tie-break)
+	next      int    // arrival cursor
 	freeTotal int
 	terminal  int
+	minWidth  int // smallest width among arrived jobs (scan fast path)
 
 	queue []int32
 	held  [][]int32
@@ -233,55 +296,137 @@ type sim struct {
 	profF      []int
 }
 
+// job returns the job record at arrival index j.
+//
+//repro:hotpath
+func (s *sim) job(j int32) *Job { return &s.jobCh[j>>chunkShift][j&chunkMask] }
+
+// state returns the mutable state at arrival index j.
+//
+//repro:hotpath
+func (s *sim) state(j int32) *jobState { return &s.stCh[j>>chunkShift][j&chunkMask] }
+
+// chunkViews slices a flat array into chunk views so buffered and
+// streaming runs share the same accessors.
+func chunkViews[T any](flat []T) [][]T {
+	n := len(flat)
+	ch := make([][]T, (n+chunkMask)>>chunkShift)
+	for c := range ch {
+		lo := c << chunkShift
+		hi := lo + 1<<chunkShift
+		if hi > n {
+			hi = n
+		}
+		ch[c] = flat[lo:hi:hi]
+	}
+	return ch
+}
+
+// initStates resets a state chunk to the pre-arrival zero state.
+func initStates(st []jobState) {
+	for i := range st {
+		st[i] = jobState{allocHead: -1}
+	}
+}
+
 // Simulate runs the jobs to completion and returns per-job results
 // sorted by ID. Jobs may be given in any order; they are processed in
 // stable arrival order, and event indices in the trace refer to that
 // order.
 func Simulate(cfg Config, jobs []Job) ([]Result, error) {
-	if err := validate(&cfg, jobs); err != nil {
+	s, err := newBufferedSim(&cfg, jobs)
+	if err != nil {
 		return nil, err
 	}
+	s.results = make([]Result, s.nJobs)
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	sort.Slice(s.results, func(i, k int) bool { return s.results[i].ID < s.results[k].ID })
+	return s.results, nil
+}
+
+// SimulateStream runs the jobs to completion, pushing each result into
+// sink the moment its job retires — in completion order, not ID order
+// — without buffering the result set. Everything else matches
+// Simulate: same trace, same per-job outcomes.
+func SimulateStream(cfg Config, jobs []Job, sink ResultSink) error {
+	if sink == nil {
+		return errors.New("cluster: SimulateStream needs a sink")
+	}
+	s, err := newBufferedSim(&cfg, jobs)
+	if err != nil {
+		return err
+	}
+	s.sink = sink
+	return s.loop()
+}
+
+// newBufferedSim validates and builds a simulation over a caller-held
+// job slice (copied, then stably sorted by arrival).
+func newBufferedSim(cfg *Config, jobs []Job) (*sim, error) {
+	if err := validate(cfg, jobs); err != nil {
+		return nil, err
+	}
+	sorted := append([]Job(nil), jobs...)
+	sort.SliceStable(sorted, func(i, k int) bool { return sorted[i].Arrival < sorted[k].Arrival })
+	st := make([]jobState, len(sorted))
+	initStates(st)
+	s := newSim(cfg, len(sorted))
+	s.jobCh = chunkViews(sorted)
+	s.stCh = chunkViews(st)
+	return s, nil
+}
+
+// newSim builds the engine-independent core state.
+func newSim(cfg *Config, nJobs int) *sim {
 	tenants := cfg.Tenants
 	if len(tenants) == 0 {
 		tenants = []Tenant{{Name: "default", Budget: math.Inf(1)}}
 	}
-
-	sorted := append([]Job(nil), jobs...)
-	sort.SliceStable(sorted, func(i, k int) bool { return sorted[i].Arrival < sorted[k].Arrival })
-
 	s := &sim{
-		cfg:       &cfg,
-		jobs:      sorted,
-		st:        make([]jobState, len(sorted)),
-		results:   make([]Result, len(sorted)),
+		cfg:       cfg,
+		nJobs:     nJobs,
 		rec:       cfg.Recorder,
 		ledger:    NewLedger(cfg.Model, tenants),
 		pool:      newNodePool(cfg.Nodes),
-		heap:      newEventHeap(len(sorted)),
 		freeTotal: cfg.Capacity(),
+		minWidth:  math.MaxInt,
 		held:      make([][]int32, len(tenants)),
 	}
-	for i := range s.st {
-		s.st[i].allocHead = -1
+	s.ec.init(cfg.Engine)
+	if s.rec != nil && cfg.Engine != EngineHeap {
+		s.batch = make([]Event, eventBatch)
+		if br, ok := s.rec.(BatchRecorder); ok {
+			s.batchRec = br
+		}
 	}
+	return s
+}
 
-	// Strict event loop, mirroring queuesim: schedule at the current
-	// instant, then consume exactly one event — the earliest pending
-	// completion, or a batch of simultaneous arrivals (completions win
-	// ties). Every iteration consumes an event or terminates.
+// loop is the strict event loop, mirroring queuesim: schedule at the
+// current instant, then consume exactly one event — the earliest
+// pending completion, or a batch of simultaneous arrivals (completions
+// win ties). Every iteration consumes an event or terminates.
+func (s *sim) loop() error {
 	for {
 		s.schedule()
 		nextArrival := math.Inf(1)
-		if s.next < len(s.jobs) {
-			nextArrival = s.jobs[s.next].Arrival
+		if s.next < s.nJobs {
+			if s.feed != nil {
+				if err := s.feed.ensure(s, s.next>>chunkShift); err != nil {
+					return err
+				}
+			}
+			nextArrival = s.job(int32(s.next)).Arrival
 		}
 		nextEnd := math.Inf(1)
-		if s.heap.size() > 0 {
-			nextEnd = s.heap.top().time
+		if s.ec.size() > 0 {
+			nextEnd = s.ec.top().time
 		}
 		if math.IsInf(nextArrival, 1) && math.IsInf(nextEnd, 1) {
-			if s.terminal != len(s.jobs) {
-				return nil, errors.New("cluster: deadlock — jobs pending but no events")
+			if s.terminal != s.nJobs {
+				return errors.New("cluster: deadlock — jobs pending but no events")
 			}
 			break
 		}
@@ -289,16 +434,27 @@ func Simulate(cfg Config, jobs []Job) ([]Result, error) {
 			s.finishOne()
 		} else {
 			s.now = nextArrival
-			//lint:ignore floatcmp now was assigned from this arrival time, so batch-arrival equality is exact
-			for s.next < len(s.jobs) && s.jobs[s.next].Arrival == s.now {
-				s.arrive(int32(s.next))
+			for s.next < s.nJobs {
+				if s.feed != nil && s.next&chunkMask == 0 {
+					if err := s.feed.ensure(s, s.next>>chunkShift); err != nil {
+						return err
+					}
+				}
+				//lint:ignore floatcmp now was assigned from this arrival time, so batch-arrival equality is exact
+				if s.job(int32(s.next)).Arrival != s.now {
+					break
+				}
+				j := int32(s.next)
 				s.next++
+				s.arrive(j)
+				if s.next&chunkMask == 0 || s.next == s.nJobs {
+					s.chunkArrived(int32((s.next - 1) >> chunkShift))
+				}
 			}
 		}
 	}
-
-	sort.Slice(s.results, func(i, k int) bool { return s.results[i].ID < s.results[k].ID })
-	return s.results, nil
+	s.flushBatch()
+	return nil
 }
 
 // validate checks the configuration and every job.
@@ -328,65 +484,114 @@ func validate(cfg *Config, jobs []Job) error {
 	if cfg.PreemptAfter > 0 && cfg.Backfill == BackfillConservative {
 		return errors.New("cluster: preemption is incompatible with conservative backfilling (reservations already bound every wait)")
 	}
+	if cfg.Engine > EngineHeap {
+		return fmt.Errorf("cluster: unknown engine %d", cfg.Engine)
+	}
 	tenants := len(cfg.Tenants)
 	if tenants == 0 {
 		tenants = 1
 	}
 	total := cfg.Capacity()
 	for _, j := range jobs {
-		if j.Tenant < 0 || j.Tenant >= tenants {
-			return fmt.Errorf("cluster: job %d names tenant %d of %d", j.ID, j.Tenant, tenants)
+		if err := validateJob(&j, tenants, total); err != nil {
+			return err
 		}
-		if j.Width < 1 || j.Width > total {
-			return fmt.Errorf("cluster: job %d requests width %d on a %d-unit cluster", j.ID, j.Width, total)
-		}
-		if math.IsNaN(j.Arrival) || j.Arrival < 0 || math.IsInf(j.Arrival, 0) {
-			return fmt.Errorf("cluster: job %d has invalid arrival %g", j.ID, j.Arrival)
-		}
-		if j.Actual < 0 || math.IsNaN(j.Actual) || math.IsInf(j.Actual, 0) {
-			return fmt.Errorf("cluster: job %d has invalid runtime %g", j.ID, j.Actual)
-		}
-		if len(j.Policy) == 0 {
-			return fmt.Errorf("cluster: job %d has an empty admission policy", j.ID)
-		}
-		prev := 0.0
-		for a, t := range j.Policy {
-			if math.IsNaN(t) || math.IsInf(t, 0) || t <= prev {
-				return fmt.Errorf("cluster: job %d policy attempt %d (%g) is not strictly increasing from %g", j.ID, a, t, prev)
-			}
-			prev = t
+		if err := validatePolicy(j.Policy, fmt.Sprintf("job %d", j.ID)); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// emit stamps and records one event.
+// validateJob checks the per-job fields shared by buffered validation
+// and the streaming feed (which checks policies once per class).
+func validateJob(j *Job, tenants, total int) error {
+	if j.Tenant < 0 || j.Tenant >= tenants {
+		return fmt.Errorf("cluster: job %d names tenant %d of %d", j.ID, j.Tenant, tenants)
+	}
+	if j.Width < 1 || j.Width > total {
+		return fmt.Errorf("cluster: job %d requests width %d on a %d-unit cluster", j.ID, j.Width, total)
+	}
+	if math.IsNaN(j.Arrival) || j.Arrival < 0 || math.IsInf(j.Arrival, 0) {
+		return fmt.Errorf("cluster: job %d has invalid arrival %g", j.ID, j.Arrival)
+	}
+	if j.Actual < 0 || math.IsNaN(j.Actual) || math.IsInf(j.Actual, 0) {
+		return fmt.Errorf("cluster: job %d has invalid runtime %g", j.ID, j.Actual)
+	}
+	return nil
+}
+
+// validatePolicy checks a reservation sequence.
+func validatePolicy(policy []float64, owner string) error {
+	if len(policy) == 0 {
+		return fmt.Errorf("cluster: %s has an empty admission policy", owner)
+	}
+	prev := 0.0
+	for a, t := range policy {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t <= prev {
+			return fmt.Errorf("cluster: %s policy attempt %d (%g) is not strictly increasing from %g", owner, a, t, prev)
+		}
+		prev = t
+	}
+	return nil
+}
+
+// emit stamps and records one event. The calendar engine buffers
+// events into a fixed slab and flushes whole batches; the heap engine
+// keeps the reference per-event dispatch.
 //
 //repro:hotpath
 func (s *sim) emit(kind EventKind, job int32, node int32, a, b float64, flag bool) {
+	s.seq++
 	if s.rec == nil {
-		s.seq++
 		return
 	}
-	s.seq++
-	s.rec.Record(Event{
+	ev := Event{
 		Seq:     s.seq,
 		Time:    s.now,
 		Kind:    kind,
 		Job:     job,
-		Attempt: s.st[job].attempt,
+		Attempt: s.state(job).attempt,
 		Node:    node,
-		Tenant:  int32(s.jobs[job].Tenant),
+		Tenant:  int32(s.job(job).Tenant),
 		A:       a,
 		B:       b,
 		Flag:    flag,
-	})
+	}
+	if s.batch != nil {
+		s.batch[s.batchN] = ev
+		s.batchN++
+		if s.batchN == len(s.batch) {
+			s.flushBatch()
+		}
+		return
+	}
+	s.rec.Record(ev)
+}
+
+// flushBatch hands the buffered events to the recorder; cold relative
+// to emit (once per eventBatch events and once at loop exit).
+func (s *sim) flushBatch() {
+	if s.batchN == 0 {
+		return
+	}
+	evs := s.batch[:s.batchN]
+	s.batchN = 0
+	if s.batchRec != nil {
+		s.batchRec.RecordBatch(evs)
+		return
+	}
+	for i := range evs {
+		s.rec.Record(evs[i])
+	}
 }
 
 // arrive processes one arrival: announce it, then submit attempt 0.
 func (s *sim) arrive(j int32) {
-	job := &s.jobs[j]
-	s.emit(EvArrive, j, -1, float64(job.Width), 0, false)
+	if w := s.job(j).Width; w < s.minWidth {
+		s.minWidth = w
+	}
+	s.emit(EvArrive, j, -1, float64(s.job(j).Width), 0, false)
 	s.submitAttempt(j)
 }
 
@@ -394,8 +599,8 @@ func (s *sim) arrive(j int32) {
 // attempt: unsatisfiable-quota rejection, budget debit (or rejection),
 // then quota commit (or parking in the tenant's hold queue).
 func (s *sim) submitAttempt(j int32) {
-	job := &s.jobs[j]
-	st := &s.st[j]
+	job := s.job(j)
+	st := s.state(j)
 	req := job.Policy[st.attempt]
 	if q := s.ledger.Quota(job.Tenant); q > 0 && job.Width > q {
 		// The tenant's quota can never fit this job; holding it would
@@ -429,8 +634,8 @@ func (s *sim) submitAttempt(j int32) {
 
 // start launches the job's current attempt at the current instant.
 func (s *sim) start(j int32, backfilled bool) {
-	job := &s.jobs[j]
-	st := &s.st[j]
+	job := s.job(j)
+	st := s.state(j)
 	req := job.Policy[st.attempt]
 	st.wait += s.now - st.submit
 	st.start = s.now
@@ -449,7 +654,7 @@ func (s *sim) start(j int32, backfilled bool) {
 		s.emit(EvAlloc, j, node, float64(s.pool.arena[e].amt), 0, false)
 	}
 	s.startSeq++
-	s.heap.push(finishEvent{time: st.end, seq: s.startSeq, job: j})
+	s.ec.push(finishEvent{time: st.end, seq: s.startSeq, job: j})
 }
 
 // freeAllocs releases the job's capacity grants, emitting one EvFree
@@ -457,7 +662,7 @@ func (s *sim) start(j int32, backfilled bool) {
 //
 //repro:hotpath
 func (s *sim) freeAllocs(j int32) {
-	st := &s.st[j]
+	st := s.state(j)
 	for e := st.allocHead; e >= 0; e = s.pool.arena[e].next {
 		node := s.pool.arena[e].node
 		if s.cfg.oversubscribeNodeZero {
@@ -467,7 +672,7 @@ func (s *sim) freeAllocs(j int32) {
 	}
 	s.pool.release(st.allocHead)
 	st.allocHead = -1
-	s.freeTotal += s.jobs[j].Width
+	s.freeTotal += s.job(j).Width
 }
 
 // finishOne consumes the earliest pending completion: either the
@@ -477,11 +682,11 @@ func (s *sim) freeAllocs(j int32) {
 //
 //repro:hotpath
 func (s *sim) finishOne() {
-	ev := s.heap.pop()
+	ev := s.ec.pop()
 	s.now = ev.time
 	j := ev.job
-	job := &s.jobs[j]
-	st := &s.st[j]
+	job := s.job(j)
+	st := s.state(j)
 	req := job.Policy[st.attempt]
 	st.nodeSecs += (s.now - st.start) * float64(job.Width)
 	s.freeAllocs(j)
@@ -505,10 +710,11 @@ func (s *sim) finishOne() {
 }
 
 // finalize retires the job, releasing its quota commitment, draining
-// the tenant's hold queue into the run queue, and writing its result.
+// the tenant's hold queue into the run queue, and delivering its
+// result — into the buffered result set or the streaming sink.
 func (s *sim) finalize(j int32, killed, rejected bool) {
-	job := &s.jobs[j]
-	st := &s.st[j]
+	job := s.job(j)
+	st := s.state(j)
 	st.phase = phDone
 	s.terminal++
 	if st.committed {
@@ -523,7 +729,7 @@ func (s *sim) finalize(j int32, killed, rejected bool) {
 		// Start at the terminal instant.
 		start = s.now
 	}
-	s.results[j] = Result{
+	r := Result{
 		Result: queuesim.Result{
 			Job: queuesim.Job{
 				ID:        job.ID,
@@ -546,6 +752,12 @@ func (s *sim) finalize(j int32, killed, rejected bool) {
 		Cost:        st.cost,
 		NodeSeconds: st.nodeSecs,
 	}
+	if s.sink != nil {
+		s.sink.Add(r)
+	} else {
+		s.results[j] = r
+	}
+	s.retireJob(j)
 }
 
 // releaseHeld admits as many of the tenant's held attempts as the
@@ -554,14 +766,14 @@ func (s *sim) releaseHeld(tenant int) {
 	q := s.held[tenant]
 	for len(q) > 0 {
 		j := q[0]
-		if !s.ledger.Commit(tenant, s.jobs[j].Width) {
+		if !s.ledger.Commit(tenant, s.job(j).Width) {
 			break
 		}
 		q = q[1:]
-		st := &s.st[j]
+		st := s.state(j)
 		st.committed = true
 		st.phase = phQueued
-		s.emit(EvRelease, j, -1, float64(s.jobs[j].Width), 0, false)
+		s.emit(EvRelease, j, -1, float64(s.job(j).Width), 0, false)
 		s.queue = append(s.queue, j)
 	}
 	s.held[tenant] = q
@@ -587,7 +799,7 @@ func (s *sim) schedule() {
 func (s *sim) scheduleFCFS() {
 	for len(s.queue) > 0 {
 		head := s.queue[0]
-		if s.jobs[head].Width <= s.freeTotal {
+		if s.job(head).Width <= s.freeTotal {
 			s.queue = s.queue[1:]
 			s.start(head, false)
 			continue
@@ -595,11 +807,21 @@ func (s *sim) scheduleFCFS() {
 		if s.cfg.Backfill != BackfillEASY {
 			return
 		}
+		if s.cfg.Engine != EngineHeap && s.freeTotal < s.minWidth {
+			// No arrived job is narrow enough to start now, so the
+			// backfill scan below cannot start anything and keeps the
+			// queue exactly as it is — skip the shadow computation and
+			// the whole pass. Gated off for EngineHeap, which stays the
+			// frozen pre-scaling reference; the skip is pure control
+			// flow, so both engines still emit identical traces.
+			return
+		}
 		shadow, spare := s.shadowOf(head)
 		kept := s.queue[:1]
 		for _, j := range s.queue[1:] {
-			w := s.jobs[j].Width
-			req := s.jobs[j].Policy[s.st[j].attempt]
+			jb := s.job(j)
+			w := jb.Width
+			req := jb.Policy[s.state(j).attempt]
 			fitsNow := w <= s.freeTotal
 			endsByShadow := s.now+req <= shadow+1e-12
 			fitsSpare := w <= spare
@@ -619,17 +841,26 @@ func (s *sim) scheduleFCFS() {
 
 // shadowOf computes the earliest time the head could start and the
 // capacity spare beyond its need at that moment — queuesim.shadowOf
-// over the completion heap.
+// over the pending completions.
 func (s *sim) shadowOf(head int32) (shadow float64, spare int) {
-	s.runScratch = append(s.runScratch[:0], s.heap.ev...)
+	if s.cfg.Engine == EngineHeap {
+		return s.shadowSorted(head)
+	}
+	return s.shadowScan(head)
+}
+
+// shadowSorted is the reference computation: snapshot the pending set,
+// sort it, accumulate until the head fits (EngineHeap only).
+func (s *sim) shadowSorted(head int32) (shadow float64, spare int) {
+	s.runScratch = s.ec.appendPending(s.runScratch[:0])
 	sort.Sort(&byTimeSeq{ev: s.runScratch})
-	need := s.jobs[head].Width
+	need := s.job(head).Width
 	avail := s.freeTotal
 	for _, r := range s.runScratch {
 		if avail >= need {
 			break
 		}
-		avail += s.jobs[r.job].Width
+		avail += s.job(r.job).Width
 		shadow = r.time
 	}
 	if avail < need {
@@ -638,20 +869,42 @@ func (s *sim) shadowOf(head int32) (shadow float64, spare int) {
 	return shadow, avail - need
 }
 
-// byTimeSeq sorts finish events by (time, seq) — the heap's order.
+// shadowScan computes the same values by selection: repeatedly pull
+// the earliest remaining completion (swap-to-prefix, no sort, no
+// allocation) until the head fits. Only the prefix of completions that
+// actually releases enough capacity is ordered — typically a handful
+// out of the whole running set — and the accumulation visits them in
+// the exact order shadowSorted would, so the result is bit-identical.
+//
+//repro:hotpath
+func (s *sim) shadowScan(head int32) (shadow float64, spare int) {
+	ev := s.ec.appendPending(s.runScratch[:0])
+	s.runScratch = ev
+	need := s.job(head).Width
+	avail := s.freeTotal
+	for k := 0; avail < need; k++ {
+		if k == len(ev) {
+			return math.Inf(1), 0
+		}
+		m := k
+		for i := k + 1; i < len(ev); i++ {
+			if eventLess(ev[i], ev[m]) {
+				m = i
+			}
+		}
+		ev[k], ev[m] = ev[m], ev[k]
+		avail += s.job(ev[k].job).Width
+		shadow = ev[k].time
+	}
+	return shadow, avail - need
+}
+
+// byTimeSeq sorts finish events by (time, seq) — the event order.
 type byTimeSeq struct{ ev []finishEvent }
 
-func (b *byTimeSeq) Len() int { return len(b.ev) }
-func (b *byTimeSeq) Less(i, k int) bool {
-	if b.ev[i].time < b.ev[k].time {
-		return true
-	}
-	if b.ev[k].time < b.ev[i].time {
-		return false
-	}
-	return b.ev[i].seq < b.ev[k].seq
-}
-func (b *byTimeSeq) Swap(i, k int) { b.ev[i], b.ev[k] = b.ev[k], b.ev[i] }
+func (b *byTimeSeq) Len() int           { return len(b.ev) }
+func (b *byTimeSeq) Less(i, k int) bool { return eventLess(b.ev[i], b.ev[k]) }
+func (b *byTimeSeq) Swap(i, k int)      { b.ev[i], b.ev[k] = b.ev[k], b.ev[i] }
 
 // maybePreempt evicts backfilled attempts (most recently started
 // first) when the queue head has waited past PreemptAfter and still
@@ -663,22 +916,26 @@ func (s *sim) maybePreempt() {
 		return
 	}
 	head := s.queue[0]
-	if s.jobs[head].Width <= s.freeTotal {
+	if s.job(head).Width <= s.freeTotal {
 		return
 	}
-	if !(s.now-s.st[head].submit > s.cfg.PreemptAfter) {
+	if !(s.now-s.state(head).submit > s.cfg.PreemptAfter) {
 		return
 	}
-	s.preScratch = s.preScratch[:0]
-	for _, e := range s.heap.ev {
-		if s.st[e.job].backfill {
-			s.preScratch = append(s.preScratch, e)
+	all := s.ec.appendPending(s.preScratch[:0])
+	s.preScratch = all
+	kept := all[:0]
+	for _, e := range all {
+		if s.state(e.job).backfill {
+			kept = append(kept, e)
 		}
 	}
-	// Latest start first = descending start-order seq.
-	sort.Sort(sort.Reverse(&bySeq{ev: s.preScratch}))
-	for _, e := range s.preScratch {
-		if s.jobs[head].Width <= s.freeTotal {
+	// Latest start first = descending start-order seq. seq values are
+	// unique, so the order is total and independent of the snapshot
+	// order the engine produced.
+	sort.Sort(sort.Reverse(&bySeq{ev: kept}))
+	for _, e := range kept {
+		if s.job(head).Width <= s.freeTotal {
 			break
 		}
 		s.preempt(e.job)
@@ -694,10 +951,10 @@ func (b *bySeq) Swap(i, k int)      { b.ev[i], b.ev[k] = b.ev[k], b.ev[i] }
 
 // preempt evicts one running attempt and resubmits it.
 func (s *sim) preempt(j int32) {
-	job := &s.jobs[j]
-	st := &s.st[j]
+	job := s.job(j)
+	st := s.state(j)
 	req := job.Policy[st.attempt]
-	s.heap.remove(j)
+	s.ec.remove(j, st.end)
 	elapsed := s.now - st.start
 	st.nodeSecs += elapsed * float64(job.Width)
 	s.freeAllocs(j)
@@ -724,14 +981,15 @@ func (s *sim) scheduleConservative() {
 		return
 	}
 	// Profile breakpoints: free capacity from now on, rising at each
-	// pending completion.
-	s.runScratch = append(s.runScratch[:0], s.heap.ev...)
+	// pending completion. The snapshot is sorted into the unique
+	// (time, seq) order, so the profile is engine-independent.
+	s.runScratch = s.ec.appendPending(s.runScratch[:0])
 	sort.Sort(&byTimeSeq{ev: s.runScratch})
 	s.profT = append(s.profT[:0], s.now)
 	s.profF = append(s.profF[:0], s.freeTotal)
 	free := s.freeTotal
 	for _, r := range s.runScratch {
-		free += s.jobs[r.job].Width
+		free += s.job(r.job).Width
 		last := len(s.profT) - 1
 		if r.time <= s.profT[last] {
 			// Completion at the current breakpoint (sorted, so only
@@ -745,8 +1003,8 @@ func (s *sim) scheduleConservative() {
 	kept := s.queue[:0]
 	stalled := false
 	for _, j := range s.queue {
-		w := s.jobs[j].Width
-		req := s.jobs[j].Policy[s.st[j].attempt]
+		w := s.job(j).Width
+		req := s.job(j).Policy[s.state(j).attempt]
 		slot := s.findSlot(w, req)
 		s.reserveSlot(slot, w, req)
 		// A completion pending at exactly now counts as free in the

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // unitCfg is a plain cluster: n unit nodes, one unmetered tenant, no
@@ -387,9 +388,13 @@ func TestSummarizePercentilesAndMeans(t *testing.T) {
 		{ID: 2, Arrival: 0, Width: 1, Actual: 2, Policy: []float64{2}},
 	})
 	s := Summarize(cfg, res)
-	// Waits are 0, 2, 4 in some order.
-	if s.WaitP50 != 2 || s.WaitP99 != 4 {
-		t.Fatalf("percentiles wrong: %+v", s)
+	// Waits are 0, 2, 4 in some order. Quantiles come from the sketch,
+	// exact within its relative-error bound; the extremes are exact.
+	if math.Abs(s.WaitP50-2) > trace.DefaultSketchAlpha*2 {
+		t.Fatalf("WaitP50 %g outside sketch bound of 2: %+v", s.WaitP50, s)
+	}
+	if s.WaitP99 != 4 || s.WaitP999 != 4 {
+		t.Fatalf("top-rank quantiles should be the exact max: %+v", s)
 	}
 	if math.Abs(s.MeanWait-2) > 1e-12 || s.MeanAttempts != 1 {
 		t.Fatalf("means wrong: %+v", s)
@@ -462,7 +467,7 @@ func TestEventKindStrings(t *testing.T) {
 }
 
 func TestHeapOrderingAndRemove(t *testing.T) {
-	h := newEventHeap(10)
+	h := newEventHeap()
 	in := []finishEvent{
 		{time: 5, seq: 1, job: 0},
 		{time: 3, seq: 2, job: 1},
@@ -487,7 +492,7 @@ func TestHeapOrderingAndRemove(t *testing.T) {
 }
 
 func TestHeapGrowth(t *testing.T) {
-	h := newEventHeap(1000)
+	h := newEventHeap()
 	for i := 0; i < 1000; i++ {
 		h.push(finishEvent{time: float64(1000 - i), seq: uint64(i), job: int32(i)})
 	}

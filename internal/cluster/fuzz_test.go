@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -174,7 +175,8 @@ func FuzzBackfill(f *testing.F) {
 			}
 			inv := NewInvariants(cfg)
 			var buf TraceBuffer
-			cfg.Recorder = MultiRecorder(inv, &buf)
+			hash := NewTraceHash()
+			cfg.Recorder = MultiRecorder(inv, &buf, hash)
 			res, err := Simulate(cfg, jobs)
 			if err != nil {
 				t.Fatalf("%v/preempt=%g: %v", rn.back, rn.preempt, err)
@@ -190,6 +192,103 @@ func FuzzBackfill(f *testing.F) {
 					t.Fatalf("%v: job %d ends before it starts: %+v", rn.back, r.ID, r)
 				}
 			}
+			// Differential engine check: the reference heap engine must
+			// reproduce the calendar engine's trace and results bit for
+			// bit on every fuzzed workload.
+			href := NewTraceHash()
+			hcfg := cfg
+			hcfg.Engine = EngineHeap
+			hcfg.Recorder = href
+			hres, err := Simulate(hcfg, jobs)
+			if err != nil {
+				t.Fatalf("%v/preempt=%g: heap engine: %v", rn.back, rn.preempt, err)
+			}
+			if href.Sum64() != hash.Sum64() || href.Events() != hash.Events() {
+				t.Fatalf("%v/preempt=%g: engines diverged: heap %x (%d) vs calendar %x (%d)",
+					rn.back, rn.preempt, href.Sum64(), href.Events(), hash.Sum64(), hash.Events())
+			}
+			for i := range res {
+				if res[i] != hres[i] {
+					t.Fatalf("%v/preempt=%g: job %d diverged:\ncalendar: %+v\nheap:     %+v",
+						rn.back, rn.preempt, res[i].ID, res[i], hres[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzEventCore drives the calendar-queue event core and the reference
+// binary heap with one decoded operation stream — pushes across up to
+// 13 decades of time scales (including zero deltas, so exact ties),
+// pops, and removes — and requires them to agree operation for
+// operation, including after any mid-stream fallback the calendar
+// decides to take. The seed corpus covers the degenerate patterns that
+// trigger the fallback: all-equal times and multi-decade spreads.
+func FuzzEventCore(f *testing.F) {
+	allEqual := append(bytes.Repeat([]byte{0, 0}, 40), bytes.Repeat([]byte{2, 0}, 40)...)
+	f.Add(allEqual)
+	var wide []byte
+	for e := 0; e < 13; e++ {
+		wide = append(wide, byte(e<<2), 1)
+	}
+	f.Add(append(bytes.Repeat(wide, 4), bytes.Repeat([]byte{2, 0}, 52)...))
+	f.Add([]byte{0, 8, 1, 16, 3, 0, 2, 0, 0, 0, 0, 0, 2, 0, 3, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c eventCore
+		c.init(EngineCalendar)
+		h := newEventHeap()
+		now := 0.0
+		var live []finishEvent
+		seq := uint64(0)
+		drop := func(job int32) {
+			for k := range live {
+				if live[k].job == job {
+					live = append(live[:k], live[k+1:]...)
+					return
+				}
+			}
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			switch int(data[i]) % 4 {
+			case 0, 1: // push at now + delta, delta spanning 13 decades
+				exp := int(data[i]>>2)%13 - 6
+				delta := float64(data[i+1]) * math.Pow(10, float64(exp))
+				e := finishEvent{time: now + delta, seq: seq, job: int32(seq)}
+				seq++
+				c.push(e)
+				h.push(e)
+				live = append(live, e)
+			case 2: // pop
+				if h.size() == 0 {
+					continue
+				}
+				ce, he := c.pop(), h.pop()
+				if ce != he {
+					t.Fatalf("op %d: calendar popped %+v, heap %+v (fellBack=%v)", i, ce, he, c.fellBack())
+				}
+				now = he.time
+				drop(he.job)
+			case 3: // remove an arbitrary live event
+				if len(live) == 0 {
+					continue
+				}
+				e := live[int(data[i+1])%len(live)]
+				c.remove(e.job, e.time)
+				h.remove(e.job)
+				drop(e.job)
+			}
+			if c.size() != h.size() {
+				t.Fatalf("op %d: size %d vs %d", i, c.size(), h.size())
+			}
+		}
+		for h.size() > 0 {
+			ce, he := c.pop(), h.pop()
+			if ce != he {
+				t.Fatalf("drain: calendar popped %+v, heap %+v (fellBack=%v)", ce, he, c.fellBack())
+			}
+		}
+		if c.size() != 0 {
+			t.Fatal("calendar not empty after drain")
 		}
 	})
 }

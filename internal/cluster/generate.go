@@ -46,14 +46,15 @@ type WorkloadSpec struct {
 // genChunk is the fixed generation granule: each chunk of jobs owns one
 // rng.Split stream, so the generated workload is bit-identical for
 // every worker count — parallelism only changes which goroutine
-// evaluates a chunk, never what the chunk contains.
-const genChunk = 1 << 16
+// evaluates a chunk, never what the chunk contains. It equals the
+// simulator's storage chunk (1<<chunkShift), which is what lets
+// RunStream generate, simulate, and recycle the workload chunk by
+// chunk.
+const genChunk = 1 << chunkShift
 
-// GenerateJobs materializes the workload on up to workers goroutines
-// (workers <= 0 selects a default). Job i has ID i; arrivals are a
-// Poisson process realized as an exact prefix sum of per-chunk
-// exponential increments, so they are deterministic too.
-func GenerateJobs(spec WorkloadSpec, workers int) ([]Job, error) {
+// workloadCum validates the spec and returns the cumulative class
+// weights used for inverse-transform class selection.
+func workloadCum(spec *WorkloadSpec) ([]float64, error) {
 	if spec.Jobs < 0 {
 		return nil, fmt.Errorf("cluster: negative job count %d", spec.Jobs)
 	}
@@ -79,7 +80,6 @@ func GenerateJobs(spec WorkloadSpec, workers int) ([]Job, error) {
 		}
 		totalW += c.Weight
 	}
-	// Cumulative class weights for inverse-transform class selection.
 	cum := make([]float64, len(spec.Classes))
 	acc := 0.0
 	for i, c := range spec.Classes {
@@ -87,7 +87,49 @@ func GenerateJobs(spec WorkloadSpec, workers int) ([]Job, error) {
 		cum[i] = acc
 	}
 	cum[len(cum)-1] = 1.0 // close the last bucket against rounding
+	return cum, nil
+}
 
+// genChunkInto draws chunk c of the workload into out (whose length
+// must be the chunk's job count). Arrivals hold within-chunk cumulative
+// interarrival sums — the caller adds the cross-chunk prefix offset.
+// Returns the chunk's interarrival sum.
+func genChunkInto(spec *WorkloadSpec, cum []float64, r *rng.Source, c int, out []Job) float64 {
+	lo := c * genChunk
+	t := 0.0
+	for i := range out {
+		t += r.ExpFloat64() / spec.ArrivalRate
+		u := r.Float64()
+		k := 0
+		for k < len(cum)-1 && u >= cum[k] {
+			k++
+		}
+		cl := &spec.Classes[k]
+		width := cl.MinWidth
+		if cl.MaxWidth > cl.MinWidth {
+			width += int(r.Uint64n(uint64(cl.MaxWidth - cl.MinWidth + 1)))
+		}
+		out[i] = Job{
+			ID:      lo + i,
+			Tenant:  cl.Tenant,
+			Arrival: t,
+			Width:   width,
+			Actual:  dist.Sample(cl.Runtime, r),
+			Policy:  cl.Policy,
+		}
+	}
+	return t
+}
+
+// GenerateJobs materializes the workload on up to workers goroutines
+// (workers <= 0 selects a default). Job i has ID i; arrivals are a
+// Poisson process realized as an exact prefix sum of per-chunk
+// exponential increments, so they are deterministic too.
+func GenerateJobs(spec WorkloadSpec, workers int) ([]Job, error) {
+	cum, err := workloadCum(&spec)
+	if err != nil {
+		return nil, err
+	}
 	jobs := make([]Job, spec.Jobs)
 	if spec.Jobs == 0 {
 		return jobs, nil
@@ -99,35 +141,12 @@ func GenerateJobs(spec WorkloadSpec, workers int) ([]Job, error) {
 	// Pass 1 (parallel): draw every job; arrivals hold within-chunk
 	// cumulative interarrival sums.
 	parallel.ForEach(chunks, workers, func(c int) {
-		r := streams[c]
 		lo := c * genChunk
 		hi := lo + genChunk
 		if hi > spec.Jobs {
 			hi = spec.Jobs
 		}
-		t := 0.0
-		for i := lo; i < hi; i++ {
-			t += r.ExpFloat64() / spec.ArrivalRate
-			u := r.Float64()
-			k := 0
-			for k < len(cum)-1 && u >= cum[k] {
-				k++
-			}
-			cl := &spec.Classes[k]
-			width := cl.MinWidth
-			if cl.MaxWidth > cl.MinWidth {
-				width += int(r.Uint64n(uint64(cl.MaxWidth - cl.MinWidth + 1)))
-			}
-			jobs[i] = Job{
-				ID:      i,
-				Tenant:  cl.Tenant,
-				Arrival: t,
-				Width:   width,
-				Actual:  dist.Sample(cl.Runtime, r),
-				Policy:  cl.Policy,
-			}
-		}
-		chunkSum[c] = t
+		chunkSum[c] = genChunkInto(&spec, cum, streams[c], c, jobs[lo:hi])
 	})
 
 	// Pass 2: sequential prefix over chunk sums, then a parallel

@@ -1,7 +1,7 @@
 package cluster
 
 // finishEvent is one pending attempt completion. seq is the start-order
-// counter: the heap orders by (time, seq), which is exactly the
+// counter: the queue orders by (time, seq), which is exactly the
 // (end, start-order) key queuesim's finishOne sorts by, so the two
 // simulators consume completions in the same deterministic order even
 // when several attempts release capacity at the same instant.
@@ -11,26 +11,23 @@ type finishEvent struct {
 	job  int32
 }
 
-// eventHeap is a binary min-heap of pending completions with a
-// per-job position index so preemption can remove an arbitrary running
-// job in O(log n). All operations are allocation-free after the
-// initial grow: push reslices within capacity and spills into the
-// cold-path grow only when full.
+// eventHeap is a binary min-heap of pending completions — the
+// reference event structure (EngineHeap) and the fallback the calendar
+// queue drains into on degenerate time distributions. All operations
+// are allocation-free after the initial grow: push reslices within
+// capacity and spills into the cold-path grow only when full. remove
+// scans for the job linearly: preemption is rare and the pending set
+// is bounded by the running attempts, so an O(jobs) position index
+// (which would tie heap memory to the workload size) is not worth it.
 type eventHeap struct {
-	ev  []finishEvent
-	pos []int32 // pos[job] = index in ev, -1 when absent
+	ev []finishEvent
 }
 
-// newEventHeap sizes the position index for jobs [0, n).
-func newEventHeap(n int) *eventHeap {
-	pos := make([]int32, n)
-	for i := range pos {
-		pos[i] = -1
-	}
-	return &eventHeap{ev: make([]finishEvent, 0, 64), pos: pos}
+func newEventHeap() *eventHeap {
+	return &eventHeap{ev: make([]finishEvent, 0, 64)}
 }
 
-// len returns the number of pending completions.
+// size returns the number of pending completions.
 //
 //repro:hotpath
 func (h *eventHeap) size() int { return len(h.ev) }
@@ -44,21 +41,11 @@ func (h *eventHeap) top() finishEvent { return h.ev[0] }
 // less orders by (time, seq) without any float equality test.
 //
 //repro:hotpath
-func (h *eventHeap) less(i, k int) bool {
-	if h.ev[i].time < h.ev[k].time {
-		return true
-	}
-	if h.ev[k].time < h.ev[i].time {
-		return false
-	}
-	return h.ev[i].seq < h.ev[k].seq
-}
+func (h *eventHeap) less(i, k int) bool { return eventLess(h.ev[i], h.ev[k]) }
 
 //repro:hotpath
 func (h *eventHeap) swap(i, k int) {
 	h.ev[i], h.ev[k] = h.ev[k], h.ev[i]
-	h.pos[h.ev[i].job] = int32(i)
-	h.pos[h.ev[k].job] = int32(k)
 }
 
 // push inserts a completion.
@@ -71,7 +58,6 @@ func (h *eventHeap) push(e finishEvent) {
 	n := len(h.ev)
 	h.ev = h.ev[:n+1]
 	h.ev[n] = e
-	h.pos[e.job] = int32(n)
 	h.up(n)
 }
 
@@ -90,7 +76,6 @@ func (h *eventHeap) pop() finishEvent {
 	n := len(h.ev) - 1
 	h.swap(0, n)
 	h.ev = h.ev[:n]
-	h.pos[e.job] = -1
 	if n > 0 {
 		h.down(0)
 	}
@@ -102,12 +87,14 @@ func (h *eventHeap) pop() finishEvent {
 //
 //repro:hotpath
 func (h *eventHeap) remove(job int32) finishEvent {
-	i := int(h.pos[job])
+	i := 0
+	for h.ev[i].job != job {
+		i++
+	}
 	e := h.ev[i]
 	n := len(h.ev) - 1
 	h.swap(i, n)
 	h.ev = h.ev[:n]
-	h.pos[job] = -1
 	if i < n {
 		if !h.up(i) {
 			h.down(i)

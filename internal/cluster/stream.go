@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// ResultSink consumes per-job results as jobs retire — in completion
+// order, from the simulation goroutine (no synchronization needed).
+// StatsAccumulator is the standard sink; tests use small collecting
+// sinks.
+type ResultSink interface {
+	Add(r Result)
+}
+
+// jobFeed generates a WorkloadSpec chunk by chunk during the
+// simulation, so RunStream never materializes the whole job array:
+// chunks are drawn in waves a little ahead of the arrival cursor and
+// their buffers recycled the moment the last job of a chunk retires.
+// Each chunk owns the same rng.Split stream GenerateJobs would give it
+// and the cross-chunk arrival offset is accumulated in generation
+// order, so the fed workload is bit-identical to the buffered one.
+type jobFeed struct {
+	spec    *WorkloadSpec
+	cum     []float64
+	streams []*rng.Source
+	chunks  int
+	nextGen int     // next chunk index to generate
+	offset  float64 // cross-chunk arrival prefix (generation order)
+	workers int
+	wave    int // chunks generated per wave
+	tenants int
+	total   int // cluster capacity, for width validation
+
+	jobPool [][]Job      // recycled chunk buffers (cap genChunk)
+	stPool  [][]jobState // recycled state buffers (cap genChunk)
+	sums    []float64    // per-wave scratch
+	offs    []float64
+	errs    []error
+}
+
+// newJobFeed validates the spec (and each class policy once — every
+// job shares its class's policy slice, so per-job policy validation
+// would be redundant work) and prepares the generation state.
+func newJobFeed(spec *WorkloadSpec, cfg *Config, workers int) (*jobFeed, error) {
+	cum, err := workloadCum(spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := range spec.Classes {
+		c := &spec.Classes[i]
+		if err := validatePolicy(c.Policy, fmt.Sprintf("class %d (%s)", i, c.Name)); err != nil {
+			return nil, err
+		}
+	}
+	tenants := len(cfg.Tenants)
+	if tenants == 0 {
+		tenants = 1
+	}
+	w := workers
+	if w <= 0 {
+		w = 4
+	}
+	wave := 2 * w
+	if wave > 8 {
+		wave = 8
+	}
+	chunks := (spec.Jobs + genChunk - 1) / genChunk
+	return &jobFeed{
+		spec:    spec,
+		cum:     cum,
+		streams: rng.Split(spec.Seed, chunks),
+		chunks:  chunks,
+		workers: workers,
+		wave:    wave,
+		tenants: tenants,
+		total:   cfg.Capacity(),
+		sums:    make([]float64, wave),
+		offs:    make([]float64, wave),
+		errs:    make([]error, wave),
+	}, nil
+}
+
+// ensure makes chunk c (and, by waves, a little beyond it) resident.
+func (f *jobFeed) ensure(s *sim, c int) error {
+	for f.nextGen <= c {
+		if err := f.generateWave(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generateWave draws the next wave of chunks in parallel, validates
+// them, then applies the sequential cross-chunk arrival offset — the
+// same two-pass scan as GenerateJobs, restricted to a window.
+func (f *jobFeed) generateWave(s *sim) error {
+	n := f.wave
+	if f.nextGen+n > f.chunks {
+		n = f.chunks - f.nextGen
+	}
+	base := f.nextGen
+	for w := 0; w < n; w++ {
+		c := base + w
+		lo := c * genChunk
+		hi := lo + genChunk
+		if hi > f.spec.Jobs {
+			hi = f.spec.Jobs
+		}
+		s.jobCh[c] = f.takeJobs(hi - lo)
+		s.stCh[c] = f.takeStates(hi - lo)
+		f.errs[w] = nil
+	}
+	parallel.ForEach(n, f.workers, func(w int) {
+		c := base + w
+		jobs := s.jobCh[c]
+		f.sums[w] = genChunkInto(f.spec, f.cum, f.streams[c], c, jobs)
+		for i := range jobs {
+			if err := validateJob(&jobs[i], f.tenants, f.total); err != nil {
+				f.errs[w] = err
+				return
+			}
+		}
+		initStates(s.stCh[c])
+	})
+	for w := 0; w < n; w++ {
+		if f.errs[w] != nil {
+			return f.errs[w]
+		}
+	}
+	for w := 0; w < n; w++ {
+		f.offs[w] = f.offset
+		f.offset += f.sums[w]
+	}
+	parallel.ForEach(n, f.workers, func(w int) {
+		c := base + w
+		off := f.offs[w]
+		jobs := s.jobCh[c]
+		for i := range jobs {
+			jobs[i].Arrival += off
+		}
+		// One reference per job plus one for the arrival cursor
+		// passing the chunk's end.
+		s.chLive[c] = int32(len(jobs)) + 1
+	})
+	f.nextGen += n
+	return nil
+}
+
+// takeJobs reuses a recycled chunk buffer when one is free. Only the
+// final chunk is shorter than genChunk, so the fixed capacity always
+// fits.
+func (f *jobFeed) takeJobs(n int) []Job {
+	if k := len(f.jobPool); k > 0 {
+		b := f.jobPool[k-1]
+		f.jobPool = f.jobPool[:k-1]
+		return b[:n]
+	}
+	return make([]Job, n, genChunk)
+}
+
+func (f *jobFeed) takeStates(n int) []jobState {
+	if k := len(f.stPool); k > 0 {
+		b := f.stPool[k-1]
+		f.stPool = f.stPool[:k-1]
+		return b[:n]
+	}
+	return make([]jobState, n, genChunk)
+}
+
+// chunkArrived drops the arrival-cursor reference on a chunk whose
+// jobs have all arrived. No-op for buffered runs.
+func (s *sim) chunkArrived(c int32) {
+	if s.feed != nil {
+		s.chunkRelease(c)
+	}
+}
+
+// retireJob drops a finished job's reference on its chunk. No-op for
+// buffered runs.
+func (s *sim) retireJob(j int32) {
+	if s.feed != nil {
+		s.chunkRelease(j >> chunkShift)
+	}
+}
+
+// chunkRelease recycles the chunk's buffers once its last reference
+// drops: every job retired and the arrival cursor past its end.
+func (s *sim) chunkRelease(c int32) {
+	s.chLive[c]--
+	if s.chLive[c] != 0 {
+		return
+	}
+	s.feed.jobPool = append(s.feed.jobPool, s.jobCh[c][:0])
+	s.feed.stPool = append(s.feed.stPool, s.stCh[c][:0])
+	s.jobCh[c] = nil
+	s.stCh[c] = nil
+}
+
+// simulateFeed runs the event loop over a chunk-fed workload.
+func simulateFeed(cfg *Config, spec *WorkloadSpec, workers int, sink ResultSink) error {
+	if err := validate(cfg, nil); err != nil {
+		return err
+	}
+	feed, err := newJobFeed(spec, cfg, workers)
+	if err != nil {
+		return err
+	}
+	s := newSim(cfg, spec.Jobs)
+	s.feed = feed
+	s.sink = sink
+	s.jobCh = make([][]Job, feed.chunks)
+	s.stCh = make([][]jobState, feed.chunks)
+	s.chLive = make([]int32, feed.chunks)
+	return s.loop()
+}
+
+// StreamOutput is RunStream's summary: everything RunOutput carries
+// except the per-job result slice, which a streaming run never
+// materializes.
+type StreamOutput struct {
+	// Stats is the workload summary. Counters, extremes, quantiles,
+	// and the trace are bit-identical to Run's; the float sums behind
+	// the means and Utilization are accumulated in completion order
+	// rather than ID order, so those may differ from Run in the last
+	// bits (and are themselves deterministic for a given spec).
+	Stats Stats
+	// TraceHash fingerprints the full event trace; equal to Run's for
+	// the same spec and config.
+	TraceHash uint64
+	// TraceEvents is the trace length.
+	TraceEvents uint64
+}
+
+// RunStream is Run at O(1) memory per job: the workload is generated
+// chunk by chunk alongside the event loop (chunk buffers recycled as
+// jobs retire) and results stream into a StatsAccumulator instead of
+// a buffer, so tens of millions of jobs need only the in-flight
+// window. With check set, a streaming Invariants recorder rides along.
+func RunStream(spec WorkloadSpec, cfg Config, workers int, check bool) (StreamOutput, error) {
+	var out StreamOutput
+	acc := NewStatsAccumulator()
+	hash, err := runStreamInto(&spec, cfg, workers, check, acc)
+	if err != nil {
+		return out, err
+	}
+	out.Stats = acc.Stats(cfg.Capacity())
+	out.TraceHash = hash.Sum64()
+	out.TraceEvents = hash.Events()
+	return out, nil
+}
+
+// runStreamInto wires the standard recorder stack (trace hash, caller
+// recorder, optional invariants) around simulateFeed.
+func runStreamInto(spec *WorkloadSpec, cfg Config, workers int, check bool, sink ResultSink) (*TraceHash, error) {
+	hash := NewTraceHash()
+	var inv *Invariants
+	recs := []Recorder{hash, cfg.Recorder}
+	if check {
+		inv = NewInvariants(cfg)
+		recs = append(recs, inv)
+	}
+	cfg.Recorder = MultiRecorder(recs...)
+	if err := simulateFeed(&cfg, spec, workers, sink); err != nil {
+		return nil, err
+	}
+	if inv != nil {
+		if err := inv.Finish(); err != nil {
+			return nil, err
+		}
+	}
+	return hash, nil
+}

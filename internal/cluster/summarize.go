@@ -1,19 +1,17 @@
 package cluster
 
 import (
-	"math"
-	"sort"
-
 	"repro/internal/queuesim"
 	"repro/internal/trace"
 )
 
 // Stats summarizes a cluster simulation. The embedded queuesim.Stats
 // carries the shared aggregates (Jobs, Rejected, MeanWait, MaxWait,
-// Backfilled, Killed, Utilization) computed by queuesim.Summarize over
-// the projected results, so a degenerate cluster summarizes
-// bit-identically to queuesim; Utilization is then recomputed from
-// NodeSeconds so killed and preempted attempts count as busy time.
+// Backfilled, Killed, Utilization) computed with queuesim's
+// accumulator over the projected results, so a degenerate cluster
+// summarizes bit-identically to queuesim; Utilization is then
+// recomputed from NodeSeconds so killed and preempted attempts count
+// as busy time.
 type Stats struct {
 	queuesim.Stats
 	// Completed is the number of jobs whose final attempt finished
@@ -26,70 +24,98 @@ type Stats struct {
 	MeanAttempts float64
 	// MeanCost is the average net budget charge per admitted job.
 	MeanCost float64
-	// WaitP50, WaitP95, WaitP99 are nearest-rank percentiles of the
-	// admitted jobs' total waits.
-	WaitP50, WaitP95, WaitP99 float64
+	// WaitP50..WaitP999 are quantiles of the admitted jobs' total
+	// waits, estimated by a mergeable sketch with relative error
+	// trace.DefaultSketchAlpha (the extremes p=0 and p=1 are exact) —
+	// O(1) memory however many jobs stream through.
+	WaitP50, WaitP95, WaitP99, WaitP999 float64
+}
+
+// StatsAccumulator folds Results into cluster Stats one at a time in
+// O(1) memory per job: exact counters, sums and extremes, plus a
+// quantile sketch for the wait distribution. It is the standard
+// ResultSink. Accumulators merge (in a fixed order for bit-stable
+// float sums; the sketch itself merges commutatively), which is how
+// sweeps combine replicates.
+type StatsAccumulator struct {
+	base      queuesim.Accumulator
+	completed int
+	preempted int
+	attempts  float64
+	cost      float64
+	nodeSecs  float64
+	waits     *trace.QuantileSketch
+}
+
+// NewStatsAccumulator returns an empty accumulator.
+func NewStatsAccumulator() *StatsAccumulator {
+	return &StatsAccumulator{
+		base:  *queuesim.NewAccumulator(),
+		waits: trace.NewDefaultSketch(),
+	}
+}
+
+// Add folds one result in. The arithmetic follows Add order, matching
+// the historical buffered Summarize loop when results arrive in ID
+// order.
+func (a *StatsAccumulator) Add(r Result) {
+	a.base.Add(r.Result)
+	if r.Rejected {
+		return
+	}
+	if !r.Killed {
+		a.completed++
+	}
+	if r.Preempts > 0 {
+		a.preempted++
+	}
+	a.attempts += float64(r.Attempts)
+	a.cost += r.Cost
+	a.nodeSecs += r.NodeSeconds
+	a.waits.Add(r.Wait)
+}
+
+// Merge folds another accumulator in.
+func (a *StatsAccumulator) Merge(o *StatsAccumulator) {
+	a.base.Merge(&o.base)
+	a.completed += o.completed
+	a.preempted += o.preempted
+	a.attempts += o.attempts
+	a.cost += o.cost
+	a.nodeSecs += o.nodeSecs
+	a.waits.Merge(o.waits)
+}
+
+// Stats finalizes the aggregates for a cluster of the given capacity.
+func (a *StatsAccumulator) Stats(capacity int) Stats {
+	var s Stats
+	s.Stats = a.base.Stats(queuesim.Config{Nodes: capacity})
+	s.Completed = a.completed
+	s.Preempted = a.preempted
+	admitted := a.base.Admitted()
+	if admitted == 0 {
+		return s
+	}
+	s.MeanAttempts = a.attempts / float64(admitted)
+	s.MeanCost = a.cost / float64(admitted)
+	tMin, tMax := a.base.Window()
+	if span := tMax - tMin; span > 0 {
+		s.Utilization = a.nodeSecs / (span * float64(capacity))
+	}
+	s.WaitP50 = a.waits.Quantile(0.50)
+	s.WaitP95 = a.waits.Quantile(0.95)
+	s.WaitP99 = a.waits.Quantile(0.99)
+	s.WaitP999 = a.waits.Quantile(0.999)
+	return s
 }
 
 // Summarize aggregates a result set for the given cluster.
 func Summarize(cfg Config, results []Result) Stats {
-	base := make([]queuesim.Result, len(results))
-	for i, r := range results {
-		base[i] = r.Result
-	}
-	var s Stats
-	s.Stats = queuesim.Summarize(queuesim.Config{Nodes: cfg.Capacity()}, base)
-
-	var busy, tMin, tMax float64
-	tMin = math.Inf(1)
-	admitted := 0
-	waits := make([]float64, 0, len(results))
+	acc := NewStatsAccumulator()
 	for _, r := range results {
-		if r.Rejected {
-			continue
-		}
-		admitted++
-		if !r.Killed {
-			s.Completed++
-		}
-		if r.Preempts > 0 {
-			s.Preempted++
-		}
-		s.MeanAttempts += float64(r.Attempts)
-		s.MeanCost += r.Cost
-		busy += r.NodeSeconds
-		tMin = math.Min(tMin, r.Arrival)
-		tMax = math.Max(tMax, r.End)
-		waits = append(waits, r.Wait)
+		acc.Add(r)
 	}
-	if admitted == 0 {
-		return s
-	}
-	s.MeanAttempts /= float64(admitted)
-	s.MeanCost /= float64(admitted)
-	if span := tMax - tMin; span > 0 {
-		s.Utilization = busy / (span * float64(cfg.Capacity()))
-	}
-	sort.Float64s(waits)
-	s.WaitP50 = percentile(waits, 0.50)
-	s.WaitP95 = percentile(waits, 0.95)
-	s.WaitP99 = percentile(waits, 0.99)
-	return s
-}
-
-// percentile is the nearest-rank percentile of a sorted sample.
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(math.Ceil(p * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
+	return acc.Stats(cfg.Capacity())
 }
 
 // WaitProfile groups admitted jobs by their final requested walltime

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// SweepStrategy is one admission policy under comparison — typically a
+// Table-1 reservation sequence from repro.Planner.
+type SweepStrategy struct {
+	// Name labels the strategy in reports.
+	Name string
+	// Policy replaces every workload class's reservation sequence for
+	// this strategy's cells.
+	Policy []float64
+}
+
+// SweepShape is one cluster shape under comparison.
+type SweepShape struct {
+	// Name labels the shape in reports.
+	Name string
+	// Nodes is the per-node capacity list (Config.Nodes).
+	Nodes []int
+}
+
+// SweepSpec describes a (strategy × shape × replicate) scenario
+// matrix over one workload.
+type SweepSpec struct {
+	// Workload is the job mix template. Its Seed seeds the whole
+	// sweep; each replicate derives its own workload seed from it, and
+	// every strategy and shape sees the same replicate workloads, so
+	// cross-strategy comparisons are paired.
+	Workload WorkloadSpec
+	// Strategies are the admission policies to compare (>= 1).
+	Strategies []SweepStrategy
+	// Shapes are the cluster shapes to compare (>= 1).
+	Shapes []SweepShape
+	// Replicates is how many seeded workloads per (strategy, shape)
+	// cell; <= 0 means 1.
+	Replicates int
+	// Base is the cluster configuration shared by every cell; Nodes is
+	// overridden per shape and Recorder must be nil (cells run
+	// concurrently — a shared recorder would race).
+	Base Config
+	// Check runs the streaming Invariants recorder in every cell.
+	Check bool
+}
+
+// SweepCell is one simulated scenario.
+type SweepCell struct {
+	// Strategy and Shape name the cell's coordinates.
+	Strategy, Shape string
+	// Replicate is the 0-based replicate index.
+	Replicate int
+	// Seed is the derived workload seed the cell ran with.
+	Seed uint64
+	// Stats is the cell's summary.
+	Stats Stats
+	// TraceHash and TraceEvents fingerprint the cell's event trace.
+	TraceHash   uint64
+	TraceEvents uint64
+}
+
+// SweepGroup aggregates one (strategy, shape) cell group across its
+// replicates: the accumulators are merged in replicate order, then
+// finalized — exactly as if one accumulator had seen every replicate's
+// results in sequence.
+type SweepGroup struct {
+	// Strategy and Shape name the group.
+	Strategy, Shape string
+	// Replicates is how many cells were merged.
+	Replicates int
+	// Stats is the merged summary.
+	Stats Stats
+}
+
+// SweepResult is the full matrix in deterministic order: cells in
+// strategy-major, then shape, then replicate order; groups in
+// strategy-major, then shape order.
+type SweepResult struct {
+	Cells  []SweepCell
+	Groups []SweepGroup
+	// Hash folds every cell's trace hash, in cell order, into one
+	// sweep fingerprint — the one-word equality check the determinism
+	// suite compares across worker counts.
+	Hash uint64
+}
+
+// RunSweep runs the scenario matrix on up to workers goroutines. Each
+// cell is an independent streaming simulation (RunStream semantics,
+// inner worker count 1) with its own derived rng stream, so the
+// assignment of cells to goroutines cannot affect any cell's result:
+// the sweep output is bit-identical for every worker count.
+func RunSweep(spec SweepSpec, workers int) (SweepResult, error) {
+	var out SweepResult
+	if len(spec.Strategies) == 0 {
+		return out, errors.New("cluster: sweep needs at least one strategy")
+	}
+	if len(spec.Shapes) == 0 {
+		return out, errors.New("cluster: sweep needs at least one shape")
+	}
+	if spec.Base.Recorder != nil {
+		return out, errors.New("cluster: sweep cells run concurrently; Base.Recorder must be nil")
+	}
+	for i, st := range spec.Strategies {
+		if err := validatePolicy(st.Policy, fmt.Sprintf("strategy %d (%s)", i, st.Name)); err != nil {
+			return out, err
+		}
+	}
+	reps := spec.Replicates
+	if reps <= 0 {
+		reps = 1
+	}
+	// One derived seed per replicate: replicate r runs the same
+	// workload in every (strategy, shape) cell, pairing the
+	// comparisons.
+	streams := rng.Split(spec.Workload.Seed, reps)
+	seeds := make([]uint64, reps)
+	for r := range seeds {
+		seeds[r] = streams[r].Uint64()
+	}
+
+	nCells := len(spec.Strategies) * len(spec.Shapes) * reps
+	cells := make([]SweepCell, nCells)
+	accs := make([]*StatsAccumulator, nCells)
+	errs := make([]error, nCells)
+	parallel.ForEach(nCells, workers, func(i int) {
+		r := i % reps
+		hi := i / reps % len(spec.Shapes)
+		si := i / reps / len(spec.Shapes)
+		strat := &spec.Strategies[si]
+		shape := &spec.Shapes[hi]
+
+		w := spec.Workload
+		w.Seed = seeds[r]
+		classes := append([]JobClass(nil), w.Classes...)
+		for k := range classes {
+			classes[k].Policy = strat.Policy
+		}
+		w.Classes = classes
+
+		cfg := spec.Base
+		cfg.Nodes = shape.Nodes
+
+		acc := NewStatsAccumulator()
+		hash, err := runStreamInto(&w, cfg, 1, spec.Check, acc)
+		if err != nil {
+			errs[i] = fmt.Errorf("cluster: sweep cell %s/%s replicate %d: %w", strat.Name, shape.Name, r, err)
+			return
+		}
+		accs[i] = acc
+		cells[i] = SweepCell{
+			Strategy:    strat.Name,
+			Shape:       shape.Name,
+			Replicate:   r,
+			Seed:        seeds[r],
+			Stats:       acc.Stats(cfg.Capacity()),
+			TraceHash:   hash.Sum64(),
+			TraceEvents: hash.Events(),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+
+	groups := make([]SweepGroup, 0, len(spec.Strategies)*len(spec.Shapes))
+	for si := range spec.Strategies {
+		for hi := range spec.Shapes {
+			cfg := spec.Base
+			cfg.Nodes = spec.Shapes[hi].Nodes
+			g := NewStatsAccumulator()
+			base := (si*len(spec.Shapes) + hi) * reps
+			for r := 0; r < reps; r++ {
+				g.Merge(accs[base+r])
+			}
+			stats := g.Stats(cfg.Capacity())
+			// The merged accumulator's utilization divides summed
+			// node-seconds by the *envelope* window — correct for
+			// shards of one run, but replicates are independent runs
+			// over overlapping simulated windows, so the envelope
+			// undercounts the denominator reps-fold. Summarize
+			// utilization as the replicate mean instead (paired
+			// workloads give near-equal spans), folded in fixed
+			// replicate order for bit-stable results.
+			util := 0.0
+			for r := 0; r < reps; r++ {
+				util += accs[base+r].Stats(cfg.Capacity()).Utilization
+			}
+			stats.Utilization = util / float64(reps)
+			groups = append(groups, SweepGroup{
+				Strategy:   spec.Strategies[si].Name,
+				Shape:      spec.Shapes[hi].Name,
+				Replicates: reps,
+				Stats:      stats,
+			})
+		}
+	}
+
+	h := uint64(fnvOffset)
+	for i := range cells {
+		h = fnvMix(h, cells[i].TraceHash)
+	}
+	out.Cells = cells
+	out.Groups = groups
+	out.Hash = h
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// almostEqual tolerates the last-bits drift of float sums accumulated
+// in completion order vs ID order.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestRunStreamMatchesRun: the streaming pipeline (chunked generation,
+// recycled buffers, sink delivery) must replay Run's exact trace —
+// equal hash and event count — and agree on every counter, extreme,
+// and sketch quantile bit for bit; only the order-sensitive float sums
+// (means, utilization) may drift in the last bits. The workload
+// crosses a generation-chunk boundary so the feed's recycling path
+// actually runs.
+func TestRunStreamMatchesRun(t *testing.T) {
+	spec := determinismSpec(21, genChunk+2000)
+	cfg := determinismCfg()
+	buf, err := Run(spec, cfg, 0, false)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	str, err := RunStream(spec, cfg, 0, true)
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	if str.TraceHash != buf.TraceHash || str.TraceEvents != buf.TraceEvents {
+		t.Fatalf("trace diverged: stream %x (%d) vs run %x (%d)",
+			str.TraceHash, str.TraceEvents, buf.TraceHash, buf.TraceEvents)
+	}
+	a, b := str.Stats, buf.Stats
+	if a.Jobs != b.Jobs || a.Rejected != b.Rejected || a.Killed != b.Killed ||
+		a.Backfilled != b.Backfilled || a.Completed != b.Completed || a.Preempted != b.Preempted {
+		t.Fatalf("counters diverged:\nstream: %+v\nrun:    %+v", a, b)
+	}
+	if !sameFloat(a.MaxWait, b.MaxWait) {
+		t.Fatalf("MaxWait diverged: %g vs %g", a.MaxWait, b.MaxWait)
+	}
+	// Sketch counts are order-independent, so quantiles are bit-equal.
+	for _, q := range [][2]float64{{a.WaitP50, b.WaitP50}, {a.WaitP95, b.WaitP95}, {a.WaitP99, b.WaitP99}, {a.WaitP999, b.WaitP999}} {
+		if !sameFloat(q[0], q[1]) {
+			t.Fatalf("quantiles diverged:\nstream: %+v\nrun:    %+v", a, b)
+		}
+	}
+	for _, m := range [][2]float64{{a.MeanWait, b.MeanWait}, {a.MeanAttempts, b.MeanAttempts}, {a.MeanCost, b.MeanCost}, {a.Utilization, b.Utilization}} {
+		if !almostEqual(m[0], m[1]) {
+			t.Fatalf("means diverged beyond reorder tolerance:\nstream: %+v\nrun:    %+v", a, b)
+		}
+	}
+}
+
+// TestRunStreamReproduces: two streaming runs of the same spec are
+// bit-identical end to end.
+func TestRunStreamReproduces(t *testing.T) {
+	spec := determinismSpec(5, 3000)
+	cfg := determinismCfg()
+	a, err := RunStream(spec, cfg, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStream(spec, cfg, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash || a.TraceEvents != b.TraceEvents || a.Stats != b.Stats {
+		t.Fatalf("streaming runs diverged:\n%+v %x\n%+v %x", a.Stats, a.TraceHash, b.Stats, b.TraceHash)
+	}
+}
+
+func sweepSpecForTest(jobs, replicates int) SweepSpec {
+	laws := dist.Table1()
+	w := determinismSpec(13, jobs)
+	return SweepSpec{
+		Workload: w,
+		Strategies: []SweepStrategy{
+			{Name: "q60", Policy: sweepPolicy(laws[0], 0.6, 0.9, 0.999)},
+			{Name: "q90", Policy: sweepPolicy(laws[0], 0.9, 0.999)},
+		},
+		Shapes: []SweepShape{
+			{Name: "unit", Nodes: UnitNodes(8)},
+			{Name: "fat", Nodes: []int{4, 4}},
+		},
+		Replicates: replicates,
+		Base:       determinismCfg(),
+		Check:      true,
+	}
+}
+
+// TestSweepWorkerIndependence: the full sweep output — every cell's
+// stats and trace hash, every merged group, and the folded sweep hash
+// — must be bit-identical for workers ∈ {1, 4, 16}.
+func TestSweepWorkerIndependence(t *testing.T) {
+	spec := sweepSpecForTest(900, 2)
+	var ref SweepResult
+	for i, workers := range []int{1, 4, 16} {
+		out, err := RunSweep(spec, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			ref = out
+			if len(ref.Cells) != 2*2*2 || len(ref.Groups) != 2*2 {
+				t.Fatalf("matrix shape wrong: %d cells, %d groups", len(ref.Cells), len(ref.Groups))
+			}
+			continue
+		}
+		if out.Hash != ref.Hash {
+			t.Fatalf("workers=%d: sweep hash %x != %x", workers, out.Hash, ref.Hash)
+		}
+		for k := range ref.Cells {
+			if out.Cells[k] != ref.Cells[k] {
+				t.Fatalf("workers=%d: cell %d diverged:\n%+v\n%+v", workers, k, out.Cells[k], ref.Cells[k])
+			}
+		}
+		for k := range ref.Groups {
+			if out.Groups[k] != ref.Groups[k] {
+				t.Fatalf("workers=%d: group %d diverged:\n%+v\n%+v", workers, k, out.Groups[k], ref.Groups[k])
+			}
+		}
+	}
+}
+
+// TestSweepGroupUtilization: replicates are independent runs over
+// overlapping simulated windows, so the group's utilization must be
+// the replicate mean of the cell utilizations — merging the raw
+// accumulators would divide summed node-seconds by the envelope window
+// and report roughly replicate-fold utilization.
+func TestSweepGroupUtilization(t *testing.T) {
+	out, err := RunSweep(sweepSpecForTest(900, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range out.Groups {
+		want, n := 0.0, 0
+		for _, c := range out.Cells {
+			if c.Strategy == g.Strategy && c.Shape == g.Shape {
+				want += c.Stats.Utilization
+				n++
+			}
+		}
+		want /= float64(n)
+		if !sameFloat(g.Stats.Utilization, want) {
+			t.Errorf("group %s/%s utilization %g, want replicate mean %g",
+				g.Strategy, g.Shape, g.Stats.Utilization, want)
+		}
+		if g.Stats.Utilization > 1+1e-9 {
+			t.Errorf("group %s/%s utilization %g exceeds 1", g.Strategy, g.Shape, g.Stats.Utilization)
+		}
+	}
+}
+
+// TestSweepPairsReplicates: replicate r uses the same derived workload
+// seed in every (strategy, shape) cell — the comparisons are paired —
+// and different replicates use different seeds.
+func TestSweepPairsReplicates(t *testing.T) {
+	out, err := RunSweep(sweepSpecForTest(400, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[int]uint64{}
+	for _, c := range out.Cells {
+		if s, ok := seeds[c.Replicate]; ok {
+			if s != c.Seed {
+				t.Fatalf("replicate %d has seeds %x and %x", c.Replicate, s, c.Seed)
+			}
+		} else {
+			seeds[c.Replicate] = c.Seed
+		}
+	}
+	if seeds[0] == seeds[1] {
+		t.Fatal("replicates share a seed")
+	}
+	// Same replicate, same shape, different strategy: same workload,
+	// different policy — the traces must actually differ.
+	var byKey = map[string]uint64{}
+	for _, c := range out.Cells {
+		byKey[c.Strategy+"/"+c.Shape+"/"+string(rune('0'+c.Replicate))] = c.TraceHash
+	}
+	if byKey["q60/unit/0"] == byKey["q90/unit/0"] {
+		t.Fatal("different strategies produced identical traces")
+	}
+}
+
+// TestSweepErrors: malformed sweeps are rejected with telling errors.
+func TestSweepErrors(t *testing.T) {
+	base := sweepSpecForTest(100, 1)
+	cases := []struct {
+		name string
+		mut  func(*SweepSpec)
+		want string
+	}{
+		{"no strategies", func(s *SweepSpec) { s.Strategies = nil }, "strategy"},
+		{"no shapes", func(s *SweepSpec) { s.Shapes = nil }, "shape"},
+		{"recorder set", func(s *SweepSpec) { s.Base.Recorder = &TraceBuffer{} }, "Recorder"},
+		{"bad policy", func(s *SweepSpec) { s.Strategies[0].Policy = []float64{2, 1} }, "strictly increasing"},
+		{"bad shape", func(s *SweepSpec) { s.Shapes[0].Nodes = nil }, "node"},
+	}
+	for _, tc := range cases {
+		spec := sweepSpecForTest(100, 1)
+		_ = base
+		tc.mut(&spec)
+		_, err := RunSweep(spec, 0)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -272,40 +272,102 @@ type Stats struct {
 // Summarize computes aggregate statistics for a result set on the given
 // cluster. Rejected results contribute to Jobs/Rejected only; an empty
 // or all-rejected result set yields zero statistics rather than NaNs
-// (no 0/0 division ever happens).
+// (no 0/0 division ever happens). It is the buffered spelling of the
+// streaming Accumulator: feeding the same results in the same order
+// yields bit-identical Stats.
 func Summarize(cfg Config, results []Result) Stats {
-	var s Stats
-	s.Jobs = len(results)
-	var busy, tMin, tMax float64
-	tMin = math.Inf(1)
-	admitted := 0
+	acc := NewAccumulator()
 	for _, r := range results {
-		if r.Rejected {
-			s.Rejected++
-			continue
-		}
-		admitted++
-		s.MeanWait += r.Wait
-		if r.Wait > s.MaxWait {
-			s.MaxWait = r.Wait
-		}
-		if r.Backfilled {
-			s.Backfilled++
-		}
-		if r.Killed {
-			s.Killed++
-		}
-		busy += (r.End - r.Start) * float64(r.Nodes)
-		tMin = math.Min(tMin, r.Arrival)
-		tMax = math.Max(tMax, r.End)
+		acc.Add(r)
 	}
-	if admitted == 0 {
-		s.MeanWait = 0 // guard: no admitted jobs, nothing to average
-		return s
+	return acc.Stats(cfg)
+}
+
+// Accumulator builds Stats one result at a time, in O(1) memory — the
+// streaming Summarize used by internal/cluster's large-scale runs.
+// Adding results in a fixed order is deterministic (the float sums
+// follow that order), and Merge combines independently filled
+// accumulators with commutative operations only (integer adds, one
+// float add per sum, math.Min/Max), so merged statistics do not depend
+// on which accumulator absorbed which.
+type Accumulator struct {
+	jobs       int
+	rejected   int
+	admitted   int
+	backfilled int
+	killed     int
+	waitSum    float64
+	maxWait    float64
+	busy       float64
+	tMin, tMax float64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{tMin: math.Inf(1)}
+}
+
+// Add folds one result in. The arithmetic mirrors the historical
+// Summarize loop exactly, so buffered and streaming paths agree to the
+// last bit.
+func (a *Accumulator) Add(r Result) {
+	a.jobs++
+	if r.Rejected {
+		a.rejected++
+		return
 	}
-	s.MeanWait /= float64(admitted)
-	if span := tMax - tMin; span > 0 {
-		s.Utilization = busy / (span * float64(cfg.Nodes))
+	a.admitted++
+	a.waitSum += r.Wait
+	if r.Wait > a.maxWait {
+		a.maxWait = r.Wait
+	}
+	if r.Backfilled {
+		a.backfilled++
+	}
+	if r.Killed {
+		a.killed++
+	}
+	a.busy += (r.End - r.Start) * float64(r.Nodes)
+	a.tMin = math.Min(a.tMin, r.Arrival)
+	a.tMax = math.Max(a.tMax, r.End)
+}
+
+// Merge folds another accumulator in.
+func (a *Accumulator) Merge(o *Accumulator) {
+	a.jobs += o.jobs
+	a.rejected += o.rejected
+	a.admitted += o.admitted
+	a.backfilled += o.backfilled
+	a.killed += o.killed
+	a.waitSum += o.waitSum
+	if o.maxWait > a.maxWait {
+		a.maxWait = o.maxWait
+	}
+	a.busy += o.busy
+	a.tMin = math.Min(a.tMin, o.tMin)
+	a.tMax = math.Max(a.tMax, o.tMax)
+}
+
+// Admitted returns how many non-rejected results were added.
+func (a *Accumulator) Admitted() int { return a.admitted }
+
+// Window returns the observed [min arrival, max end] makespan window.
+func (a *Accumulator) Window() (tMin, tMax float64) { return a.tMin, a.tMax }
+
+// Stats finalizes the aggregates for the given cluster.
+func (a *Accumulator) Stats(cfg Config) Stats {
+	var s Stats
+	s.Jobs = a.jobs
+	s.Rejected = a.rejected
+	s.Backfilled = a.backfilled
+	s.Killed = a.killed
+	s.MaxWait = a.maxWait
+	if a.admitted == 0 {
+		return s // guard: no admitted jobs, nothing to average
+	}
+	s.MeanWait = a.waitSum / float64(a.admitted)
+	if span := a.tMax - a.tMin; span > 0 {
+		s.Utilization = a.busy / (span * float64(cfg.Nodes))
 	}
 	return s
 }

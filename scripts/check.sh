@@ -25,9 +25,15 @@
 #      (cmd/loadgen -smoke) asserting the sharded serving invariants:
 #      cold misses == unique specs (deterministic routing) and a
 #      warmed Table-1 fleet serves at a 100% hit ratio.
-#   8. fuzz smoke — a few seconds of the cluster ledger/backfill fuzz
-#      targets on top of their committed corpora (testdata/fuzz), so a
-#      freshly broken invariant is found here, not in a nightly.
+#   8. clustersim smoke — the simulator's built-in gate (cmd/clustersim
+#      -smoke): a small (strategy × shape × replicate) sweep matrix must
+#      be bit-identical for 1, 4, and 16 workers, and the streaming
+#      quantile sketch must agree with exact sorted-sample quantiles
+#      within its documented error bound.
+#   9. fuzz smoke — a few seconds of the cluster ledger/backfill/event-
+#      core fuzz targets on top of their committed corpora
+#      (testdata/fuzz), so a freshly broken invariant is found here, not
+#      in a nightly.
 #
 # Usage: scripts/check.sh [--bench] [--compare]
 #
@@ -70,9 +76,13 @@ go test -race ./internal/parallel/... ./internal/simulate/... ./internal/queuesi
 echo "== loadgen smoke (sharded serving invariants)"
 go run ./cmd/loadgen -smoke
 
-echo "== fuzz smoke (cluster ledger + backfill)"
+echo "== clustersim smoke (sweep determinism + sketch accuracy)"
+go run ./cmd/clustersim -smoke
+
+echo "== fuzz smoke (cluster ledger + backfill + event core)"
 go test -run '^$' -fuzz '^FuzzLedger$' -fuzztime 3s ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzBackfill$' -fuzztime 3s ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzEventCore$' -fuzztime 3s ./internal/cluster/
 
 echo "check.sh: all gates passed"
 
